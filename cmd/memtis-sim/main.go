@@ -1,0 +1,124 @@
+// Command memtis-sim runs one benchmark under one tiering policy on the
+// simulated two-tier machine and prints the run's metrics.
+//
+// Usage:
+//
+//	memtis-sim -workload silo -policy memtis -ratio 1:8 -accesses 2000000
+//	memtis-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memtis/internal/bench"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/workload"
+)
+
+func main() {
+	var (
+		wname    = flag.String("workload", "silo", "benchmark name (see -list)")
+		pname    = flag.String("policy", "memtis", "tiering policy (see -list)")
+		ratio    = flag.String("ratio", "1:8", "fast:capacity ratio (1:2, 1:8, 1:16, 2:1)")
+		accesses = flag.Uint64("accesses", 2_000_000, "access budget")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+		capKind  = flag.String("cap", "nvm", "capacity tier kind: nvm or cxl")
+		threads  = flag.Int("threads", 0, "application threads (0 = all cores)")
+		list     = flag.Bool("list", false, "list workloads and policies, then exit")
+		baseline = flag.Bool("baseline", false, "also run the all-capacity baseline and report normalized performance")
+		series   = flag.String("series", "", "write a time-series CSV (hot/warm/cold, RSS, hit ratio) to this path")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, s := range workload.Specs() {
+			fmt.Printf("  %-12s %6.1f paper-GB  %s\n", s.Name, s.PaperRSSGB, s.Description)
+		}
+		fmt.Println("policies:")
+		for _, p := range append(append([]string{}, bench.Policies...), "memtis-ns", "memtis-vanilla", "static", "all-fast", "all-capacity") {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Accesses = *accesses
+	cfg.Seed = *seed
+	cfg.Threads = *threads
+	switch *capKind {
+	case "nvm":
+		cfg.CapKind = tier.NVM
+	case "cxl":
+		cfg.CapKind = tier.CXL
+	default:
+		fmt.Fprintf(os.Stderr, "unknown capacity kind %q\n", *capKind)
+		os.Exit(2)
+	}
+
+	var r bench.Ratio
+	switch *ratio {
+	case "1:2":
+		r = bench.Ratio1to2
+	case "1:8":
+		r = bench.Ratio1to8
+	case "1:16":
+		r = bench.Ratio1to16
+	case "2:1":
+		r = bench.Ratio2to1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ratio %q\n", *ratio)
+		os.Exit(2)
+	}
+
+	if *series != "" {
+		cfg.RecordNS = 300_000
+	}
+	res := bench.RunOne(*wname, *pname, r, cfg)
+	if *series != "" {
+		if err := writeSeriesCSV(*series, res); err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("policy          %s\n", res.Policy)
+	fmt.Printf("ratio           %s (%s capacity tier)\n", r.Name, cfg.CapKind)
+	fmt.Printf("accesses        %d\n", res.Accesses)
+	fmt.Printf("virtual time    %.3f ms (wall %.3f ms with daemon contention)\n",
+		float64(res.AppNS)/1e6, float64(res.WallNS)/1e6)
+	fmt.Printf("throughput      %.2f M accesses/s\n", res.Throughput/1e6)
+	fmt.Printf("fast hit ratio  %.2f%%\n", res.FastHitRatio*100)
+	fmt.Printf("daemon CPU      %.2f cores\n", res.DaemonUtil)
+	fmt.Printf("TLB miss ratio  %.3f%%\n", res.TLB.MissRatio()*100)
+	fmt.Printf("RSS peak/final  %.1f / %.1f MB\n", mb(res.RSSPeak), mb(res.RSSFinal))
+	fmt.Printf("migrations      %d base, %d huge (%.1f MB), %d promo / %d demo pages\n",
+		res.VM.Migrations4K, res.VM.MigrationsHuge, mb(res.VM.MigratedBytes),
+		res.VM.Promotions, res.VM.Demotions)
+	fmt.Printf("splits          %d (reclaimed %.1f MB), collapses %d\n",
+		res.VM.Splits, mb(res.VM.ReclaimedFrames*tier.BasePageSize), res.VM.Collapses)
+
+	if *baseline {
+		b := bench.RunBaseline(*wname, cfg)
+		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)
+	}
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+// writeSeriesCSV dumps the run's recorded time series.
+func writeSeriesCSV(path string, res sim.Result) error {
+	var b strings.Builder
+	b.WriteString("time_ms,hot_mb,warm_mb,cold_mb,rss_mb,fast_used_mb,fast_hit,tput_Maccess_s\n")
+	for _, p := range res.Series {
+		fmt.Fprintf(&b, "%.3f,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f,%.3f\n",
+			float64(p.TimeNS)/1e6,
+			mb(p.HotBytes), mb(p.WarmBytes), mb(p.ColdBytes),
+			mb(p.RSSBytes), mb(p.FastUsed), p.FastHitWin, p.ThroughputWin/1e6)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,221 @@
+// Command memtis-trace records, inspects and replays memory access
+// traces of simulated runs.
+//
+// Usage:
+//
+//	memtis-trace record -workload silo -accesses 500000 -o silo.mtrc
+//	memtis-trace info -i silo.mtrc
+//	memtis-trace heatmap -i silo.mtrc -t 32 -s 64 -o heat.csv
+//	memtis-trace replay -i silo.mtrc -policy memtis -ratio 1:8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memtis/internal/bench"
+	"memtis/internal/render"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/trace"
+	"memtis/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "heatmap":
+		err = heatmap(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: memtis-trace {record|info|heatmap|replay} [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wname := fs.String("workload", "silo", "benchmark to trace")
+	accesses := fs.Uint64("accesses", 500_000, "accesses to record")
+	seed := fs.Int64("seed", 42, "RNG seed")
+	out := fs.String("o", "trace.mtrc", "output file")
+	fs.Parse(args)
+
+	w, err := workload.New(*wname)
+	if err != nil {
+		return err
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Seed = *seed
+	mc := bench.MachineFor(w.Spec(), bench.Ratio1to2, "static", cfg)
+	m := sim.NewMachine(mc, bench.NewPolicy("static"))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	trace.Capture(m, tw)
+	w.Run(m, *accesses)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses of %s to %s\n", tw.Count(), *wname, *out)
+	return nil
+}
+
+func load(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAll(r)
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "trace.mtrc", "input trace")
+	top := fs.Int("top", 10, "hottest pages to list")
+	fs.Parse(args)
+
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+	s := trace.Analyze(recs, *top)
+	fmt.Printf("accesses        %d (%.1f%% writes)\n", s.Accesses, pct(s.Writes, s.Accesses))
+	fmt.Printf("distinct pages  %d (%.1f MB footprint)\n", s.DistinctPages, float64(s.FootprintBytes())/(1<<20))
+	fmt.Printf("vpn range       [%d, %d]\n", s.MinVPN, s.MaxVPN)
+	fmt.Printf("hottest pages:\n")
+	for _, pc := range s.Top {
+		fmt.Printf("  vpn %-12d %d accesses (%.2f%%)\n", pc.VPN, pc.Count, pct(pc.Count, s.Accesses))
+	}
+	h := trace.ReuseHistogram(recs, 24)
+	fmt.Printf("reuse-interval histogram (power-of-two bins, accesses):\n")
+	for b, c := range h {
+		if c == 0 {
+			continue
+		}
+		fmt.Printf("  [2^%-2d, 2^%-2d) %d\n", b, b+1, c)
+	}
+	return nil
+}
+
+func heatmap(args []string) error {
+	fs := flag.NewFlagSet("heatmap", flag.ExitOnError)
+	in := fs.String("i", "trace.mtrc", "input trace")
+	tb := fs.Int("t", 32, "time buckets")
+	sb := fs.Int("s", 64, "space buckets")
+	out := fs.String("o", "", "output CSV (default stdout)")
+	rendered := fs.Bool("render", false, "render as a shaded text grid instead of CSV")
+	fs.Parse(args)
+
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+	grid := trace.Heatmap(recs, *tb, *sb)
+	if *rendered {
+		fmt.Print(render.HeatGrid(fmt.Sprintf("access heat map of %s", *in), grid))
+		return nil
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	if *out == "" {
+		fmt.Print(b.String())
+		return nil
+	}
+	return os.WriteFile(*out, []byte(b.String()), 0o644)
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "trace.mtrc", "input trace")
+	pname := fs.String("policy", "memtis", "tiering policy")
+	ratio := fs.String("ratio", "1:8", "fast:capacity ratio")
+	accesses := fs.Uint64("accesses", 0, "access budget (0 = one pass)")
+	fs.Parse(args)
+
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+	rep := trace.NewReplay("replay", recs)
+	st := trace.Analyze(recs, 0)
+	rss := (st.MaxVPN - st.MinVPN + 1) * tier.BasePageSize
+	var frac float64
+	switch *ratio {
+	case "1:2":
+		frac = 1.0 / 3
+	case "1:8":
+		frac = 1.0 / 9
+	case "1:16":
+		frac = 1.0 / 17
+	case "2:1":
+		frac = 2.0 / 3
+	default:
+		return fmt.Errorf("unknown ratio %q", *ratio)
+	}
+	fast := uint64(float64(rss) * frac)
+	if fast < 2*tier.HugePageSize {
+		fast = 2 * tier.HugePageSize
+	}
+	mc := sim.Config{
+		FastBytes: fast,
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      42,
+	}
+	n := *accesses
+	if n == 0 {
+		n = uint64(len(recs))
+	}
+	res := sim.Run(mc, bench.NewPolicy(*pname), rep, n)
+	fmt.Printf("policy %s  ratio %s  accesses %d\n", res.Policy, *ratio, res.Accesses)
+	fmt.Printf("fast hit ratio %.2f%%  throughput %.2f M/s  migrated %.1f MB\n",
+		res.FastHitRatio*100, res.Throughput/1e6, float64(res.VM.MigratedBytes)/(1<<20))
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

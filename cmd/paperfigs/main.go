@@ -1,0 +1,206 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index) and
+// writes both aligned-text and CSV outputs into a results directory.
+//
+// Usage:
+//
+//	paperfigs                 # everything (several minutes)
+//	paperfigs -only fig5,fig12
+//	paperfigs -accesses 4000000 -out results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"memtis/internal/bench"
+	"memtis/internal/render"
+	"memtis/internal/sim"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "results", "output directory")
+		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead)")
+		accesses = flag.Uint64("accesses", 2_000_000, "access budget per run")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Accesses = *accesses
+	cfg.Seed = *seed
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type job struct {
+		name string
+		run  func() bench.Table
+	}
+	jobs := []job{
+		{"table1", func() bench.Table { return bench.Table1() }},
+		{"fig1", func() bench.Table { _, t := bench.Fig1(cfg); return t }},
+		{"fig2", func() bench.Table {
+			series, t := bench.Fig2(cfg)
+			for _, s := range series {
+				writeSeries(*out, fmt.Sprintf("fig2_%s.csv", s.Workload), s.Points, s.FastBytes)
+			}
+			return t
+		}},
+		{"fig3", func() bench.Table {
+			data, t := bench.Fig3(cfg)
+			for wname, samples := range data {
+				var b strings.Builder
+				b.WriteString("access_count,utilization\n")
+				for _, s := range samples {
+					fmt.Fprintf(&b, "%d,%d\n", s.AccessCount, s.Utilization)
+				}
+				mustWrite(filepath.Join(*out, fmt.Sprintf("fig3_%s.csv", wname)), b.String())
+			}
+			return t
+		}},
+		{"table2", func() bench.Table { return bench.Table2(cfg) }},
+		{"table3", func() bench.Table { _, t := bench.Table3(cfg); return t }},
+		{"fig5", func() bench.Table {
+			m, t := bench.Fig5(cfg, nil, nil, nil)
+			mustWrite(filepath.Join(*out, "fig5.plot.txt"), fig5Plot(m))
+			return t
+		}},
+		{"fig6", func() bench.Table { _, t := bench.Fig6(cfg, nil); return t }},
+		{"fig7", func() bench.Table { _, t := bench.Fig7(cfg); return t }},
+		{"fig8", func() bench.Table { _, t := bench.Fig8(cfg); return t }},
+		{"fig9", func() bench.Table {
+			series, t := bench.Fig9(cfg)
+			var plots strings.Builder
+			for _, s := range series {
+				name := fmt.Sprintf("fig9_%s_%s.csv", s.Workload, strings.ReplaceAll(s.Ratio, ":", "to"))
+				writeSeries(*out, name, s.Points, s.FastBytes)
+				plots.WriteString(hotSetPlot(fmt.Sprintf("%s %s: identified hot set vs fast tier (MB)", s.Workload, s.Ratio), s.Points, s.FastBytes))
+				plots.WriteByte('\n')
+			}
+			mustWrite(filepath.Join(*out, "fig9.plot.txt"), plots.String())
+			return t
+		}},
+		{"fig10", func() bench.Table { _, t := bench.Fig10(cfg); return t }},
+		{"fig11", func() bench.Table {
+			series, t := bench.Fig11(cfg)
+			var plots strings.Builder
+			byWorkload := map[string][]render.Series{}
+			var order []string
+			for _, s := range series {
+				name := fmt.Sprintf("fig11_%s_%s.csv", s.Workload, s.Policy)
+				writeSeries(*out, name, s.Points, 0)
+				var xs, ys []float64
+				for _, p := range s.Points {
+					xs = append(xs, float64(p.TimeNS)/1e6)
+					ys = append(ys, p.ThroughputWin/1e6)
+				}
+				if _, ok := byWorkload[s.Workload]; !ok {
+					order = append(order, s.Workload)
+				}
+				byWorkload[s.Workload] = append(byWorkload[s.Workload], render.Series{Name: s.Policy, X: xs, Y: ys})
+			}
+			for _, w := range order {
+				plots.WriteString(render.LineChart(
+					fmt.Sprintf("%s (1:8): throughput over time (M accesses/s vs ms)", w),
+					byWorkload[w], 72, 14))
+				plots.WriteByte('\n')
+			}
+			mustWrite(filepath.Join(*out, "fig11.plot.txt"), plots.String())
+			return t
+		}},
+		{"fig12", func() bench.Table { _, t := bench.Fig12(cfg); return t }},
+		{"fig13", func() bench.Table { _, t := bench.Fig13(cfg); return t }},
+		{"fig14", func() bench.Table { _, t := bench.Fig14(cfg); return t }},
+		{"overhead", func() bench.Table { _, t := bench.Overhead(cfg); return t }},
+	}
+
+	var summary strings.Builder
+	for _, j := range jobs {
+		if !sel(j.name) {
+			continue
+		}
+		start := time.Now()
+		t := j.run()
+		fmt.Printf("%-9s done in %v\n", j.name, time.Since(start).Round(time.Millisecond))
+		mustWrite(filepath.Join(*out, j.name+".txt"), t.String())
+		mustWrite(filepath.Join(*out, j.name+".csv"), t.CSV())
+		summary.WriteString(t.String())
+		summary.WriteByte('\n')
+	}
+	mustWrite(filepath.Join(*out, "summary.txt"), summary.String())
+	fmt.Printf("results written to %s/\n", *out)
+}
+
+// fig5Plot renders the headline comparison as grouped text bars.
+func fig5Plot(m *bench.Matrix) string {
+	var groups []render.BarGroup
+	seen := map[string]bool{}
+	for _, c := range m.Cells {
+		key := c.Workload + " " + c.Ratio
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g := render.BarGroup{Label: key}
+		for _, p := range bench.Policies {
+			if v, ok := m.Get(c.Workload, c.Ratio, p); ok {
+				g.Bars = append(g.Bars, render.Bar{Name: p, Value: v})
+			}
+		}
+		groups = append(groups, g)
+	}
+	return render.BarChart("Figure 5: normalized performance (vs all-NVM)", groups, 56)
+}
+
+// hotSetPlot draws the identified hot set against the fast-tier line.
+func hotSetPlot(title string, pts []sim.SeriesPoint, fastBytes uint64) string {
+	var xs, hot, fast []float64
+	for _, p := range pts {
+		xs = append(xs, float64(p.TimeNS)/1e6)
+		hot = append(hot, float64(p.HotBytes)/(1<<20))
+		fast = append(fast, float64(fastBytes)/(1<<20))
+	}
+	return render.LineChart(title, []render.Series{
+		{Name: "hot", X: xs, Y: hot},
+		{Name: "fast tier", X: xs, Y: fast},
+	}, 72, 12)
+}
+
+func writeSeries(dir, name string, pts []sim.SeriesPoint, fastBytes uint64) {
+	var b strings.Builder
+	b.WriteString("time_ms,hot_mb,warm_mb,cold_mb,rss_mb,fast_used_mb,fast_hit,tput_Maccess_s,fast_size_mb\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%.3f,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f,%.3f,%.2f\n",
+			float64(p.TimeNS)/1e6,
+			float64(p.HotBytes)/(1<<20), float64(p.WarmBytes)/(1<<20), float64(p.ColdBytes)/(1<<20),
+			float64(p.RSSBytes)/(1<<20), float64(p.FastUsed)/(1<<20),
+			p.FastHitWin, p.ThroughputWin/1e6, float64(fastBytes)/(1<<20))
+	}
+	mustWrite(filepath.Join(dir, name), b.String())
+}
+
+func mustWrite(path, content string) {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// capacity sweeps the DRAM:NVM ratio for a workload and reports the
+// performance knee — the capacity-planning question ("how little DRAM
+// can we buy before this workload falls off a cliff?") that tiered
+// memory simulators exist to answer.
+package main
+
+import (
+	"fmt"
+
+	"memtis"
+)
+
+func main() {
+	const name = "xsbench"
+	var spec memtis.WorkloadSpec
+	for _, s := range memtis.Workloads() {
+		if s.Name == name {
+			spec = s
+		}
+	}
+
+	// All-capacity baseline to normalise against.
+	base := memtis.Run(memtis.MachineFor(spec, 0, memtis.NVM),
+		memtis.NewStatic(), memtis.MustWorkload(name), 1_500_000)
+
+	fmt.Printf("%s: performance vs DRAM share under MEMTIS (normalised to all-NVM)\n", name)
+	fmt.Printf("%8s %10s %12s %10s\n", "dram", "dram_mb", "norm_perf", "hit")
+	fracs := []struct {
+		label string
+		f     float64
+	}{
+		{"1/17", 1.0 / 17}, {"1/9", 1.0 / 9}, {"1/5", 1.0 / 5},
+		{"1/3", 1.0 / 3}, {"1/2", 1.0 / 2}, {"2/3", 2.0 / 3},
+	}
+	first, last := 0.0, 0.0
+	for _, fc := range fracs {
+		cfg := memtis.MachineFor(spec, fc.f, memtis.NVM)
+		cfg.Seed = 5
+		r := memtis.Run(cfg, memtis.NewMEMTIS(), memtis.MustWorkload(name), 1_500_000)
+		norm := r.Throughput / base.Throughput
+		fmt.Printf("%8s %10.0f %12.2f %9.1f%%\n",
+			fc.label, float64(cfg.FastBytes)/(1<<20), norm, r.FastHitRatio*100)
+		if first == 0 {
+			first = norm
+		}
+		last = norm
+	}
+	fmt.Printf("\ngoing from a 1/17 to a 2/3 DRAM share buys %.0f%% more throughput;\n",
+		(last/first-1)*100)
+	fmt.Println("the sweep shows where that spend stops paying for this workload.")
+}

@@ -1,0 +1,42 @@
+// Quickstart: run one of the paper's benchmarks (Silo, YCSB-C) on a
+// simulated DRAM+NVM machine at the 1:8 configuration under MEMTIS and
+// under the no-migration baseline, and compare.
+package main
+
+import (
+	"fmt"
+
+	"memtis"
+)
+
+func main() {
+	spec, _ := specByName("silo")
+	cfg := memtis.MachineFor(spec, 1.0/9, memtis.NVM) // 1:8 configuration
+	cfg.Seed = 42
+
+	const accesses = 2_000_000
+
+	static := memtis.Run(cfg, memtis.NewStatic(), memtis.MustWorkload("silo"), accesses)
+	tiered := memtis.Run(cfg, memtis.NewMEMTIS(), memtis.MustWorkload("silo"), accesses)
+
+	fmt.Printf("silo on %.0fMB RSS, fast tier %.0fMB (1:8), NVM capacity tier\n",
+		mb(spec.RSSBytes()), mb(cfg.FastBytes))
+	fmt.Printf("%-22s %12s %14s %12s\n", "policy", "hit ratio", "throughput", "speedup")
+	for _, r := range []memtis.Result{static, tiered} {
+		fmt.Printf("%-22s %11.1f%% %11.2f M/s %11.2fx\n",
+			r.Policy, r.FastHitRatio*100, r.Throughput/1e6, r.Throughput/static.Throughput)
+	}
+	fmt.Printf("\nMEMTIS split %d huge pages and migrated %.1fMB in the background.\n",
+		tiered.VM.Splits, mb(tiered.VM.MigratedBytes))
+}
+
+func specByName(name string) (memtis.WorkloadSpec, bool) {
+	for _, s := range memtis.Workloads() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return memtis.WorkloadSpec{}, false
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }

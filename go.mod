@@ -1,0 +1,3 @@
+module memtis
+
+go 1.22

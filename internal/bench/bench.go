@@ -1,0 +1,231 @@
+// Package bench is the experiment harness: it wires workloads, policies
+// and machine configurations into the runs that regenerate every table
+// and figure of the paper's evaluation (§6). cmd/paperfigs and the
+// repository's bench_test.go are thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	memtis "memtis/internal/core"
+	"memtis/internal/policy"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/workload"
+)
+
+// Ratio expresses a fast:capacity configuration as the fraction of the
+// resident set held by the fast tier (§6.1: 1:2 -> 1/3 of RSS, 1:8 ->
+// 1/9, 1:16 -> 1/17; §6.2.8: 2:1 -> 2/3).
+type Ratio struct {
+	Name     string
+	FastFrac float64
+}
+
+// The tiering configurations used across the evaluation.
+var (
+	Ratio1to2  = Ratio{"1:2", 1.0 / 3}
+	Ratio1to8  = Ratio{"1:8", 1.0 / 9}
+	Ratio1to16 = Ratio{"1:16", 1.0 / 17}
+	Ratio2to1  = Ratio{"2:1", 2.0 / 3}
+)
+
+// MainRatios are the Figure 5 configurations.
+var MainRatios = []Ratio{Ratio1to2, Ratio1to8, Ratio1to16}
+
+// Policies lists the systems of Figure 5 in plot order.
+var Policies = []string{"autonuma", "autotiering", "tiering-0.8", "tpp", "nimble", "hemem", "memtis"}
+
+// Config tunes a harness invocation.
+type Config struct {
+	Accesses uint64    // access budget per run
+	Seed     int64     // base RNG seed
+	CapKind  tier.Kind // capacity-tier technology (NVM default)
+	Threads  int       // app threads (0 = cores, i.e. saturated)
+	RecordNS uint64    // time-series sampling (0 = off)
+}
+
+// DefaultConfig returns the harness defaults used by the bench targets.
+func DefaultConfig() Config {
+	return Config{Accesses: 2_000_000, Seed: 42, CapKind: tier.NVM}
+}
+
+// NewPolicy instantiates a policy by name. Fresh state per run.
+func NewPolicy(name string) sim.Policy {
+	switch name {
+	case "autonuma":
+		return policy.NewAutoNUMA()
+	case "autotiering":
+		return policy.NewAutoTiering()
+	case "tiering-0.8":
+		return policy.NewTiering08()
+	case "tpp":
+		return policy.NewTPP()
+	case "nimble":
+		return policy.NewNimble()
+	case "multi-clock":
+		return policy.NewMultiClock()
+	case "hemem", "hemem+":
+		return policy.NewHeMem()
+	case "memtis":
+		return memtis.New(memtis.Config{})
+	case "memtis-ns":
+		return memtis.New(memtis.Config{SplitDisabled: true})
+	case "memtis-nowarm":
+		return memtis.New(memtis.Config{WarmDisabled: true})
+	case "memtis-vanilla":
+		return memtis.New(memtis.Config{SplitDisabled: true, WarmDisabled: true})
+	case "memtis-hybrid":
+		return memtis.New(memtis.Config{HybridScan: true})
+	case "static":
+		return policy.NewStatic()
+	case "all-fast":
+		return policy.NewPinned(tier.FastTier, "all-fast")
+	case "all-capacity":
+		return policy.NewPinned(tier.CapacityTier, "all-capacity")
+	default:
+		panic(fmt.Sprintf("bench: unknown policy %q", name))
+	}
+}
+
+// MachineFor builds the machine configuration for a workload at a
+// tiering ratio. The capacity tier always holds the full resident set
+// plus head-room — as in the paper's testbed, only the fast tier is the
+// constrained resource. polName adjustments: HeMem's configured fast
+// tier is reduced by its over-allocation (Table 3 accounting, §6.1);
+// "hemem+" skips the reduction (§6.2.9).
+func MachineFor(spec workload.Spec, r Ratio, polName string, cfg Config) sim.Config {
+	rss := spec.RSSBytes()
+	fast := uint64(float64(rss) * r.FastFrac)
+	if polName == "hemem" {
+		over := spec.SmallBytes()
+		if over < fast/2 {
+			fast -= over
+		} else {
+			fast /= 2
+		}
+	}
+	if fast < tier.HugePageSize*2 {
+		fast = tier.HugePageSize * 2
+	}
+	return sim.Config{
+		FastBytes: fast,
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		CapKind:   cfg.CapKind,
+		THP:       true,
+		Threads:   cfg.Threads,
+		Seed:      cfg.Seed,
+		RecordNS:  cfg.RecordNS,
+	}
+}
+
+// RunOne executes one (workload, policy, ratio) cell.
+func RunOne(wname, polName string, r Ratio, cfg Config) sim.Result {
+	w := workload.MustNew(wname)
+	mc := MachineFor(w.Spec(), r, polName, cfg)
+	return sim.Run(mc, NewPolicy(polName), w, cfg.Accesses)
+}
+
+// RunBaseline executes the all-capacity-tier (THP) run that every
+// figure normalises against.
+func RunBaseline(wname string, cfg Config) sim.Result {
+	w := workload.MustNew(wname)
+	rss := w.Spec().RSSBytes()
+	mc := sim.Config{
+		FastBytes: tier.HugePageSize * 2, // minimal, unused
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		CapKind:   cfg.CapKind,
+		THP:       true,
+		Threads:   cfg.Threads,
+		Seed:      cfg.Seed,
+	}
+	return sim.Run(mc, NewPolicy("all-capacity"), w, cfg.Accesses)
+}
+
+// RunAllFast executes the all-DRAM reference (fast tier holds the whole
+// resident set) with or without THP (Figure 7's dashed lines).
+func RunAllFast(wname string, thp bool, cfg Config) sim.Result {
+	w := workload.MustNew(wname)
+	rss := w.Spec().RSSBytes()
+	mc := sim.Config{
+		FastBytes: rss + rss/4 + 16*tier.HugePageSize,
+		CapBytes:  tier.HugePageSize * 2,
+		CapKind:   cfg.CapKind,
+		THP:       thp,
+		Threads:   cfg.Threads,
+		Seed:      cfg.Seed,
+	}
+	return sim.Run(mc, NewPolicy("all-fast"), w, cfg.Accesses)
+}
+
+// Norm returns r's throughput normalised to the baseline run.
+func Norm(r, base sim.Result) float64 {
+	if base.Throughput == 0 {
+		return 0
+	}
+	return r.Throughput / base.Throughput
+}
+
+// Geomean computes the geometric mean of positive values.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// Cell is one figure data point.
+type Cell struct {
+	Workload string
+	Ratio    string
+	Policy   string
+	Value    float64 // normalised performance unless stated otherwise
+	Result   sim.Result
+}
+
+// Matrix is a set of cells with lookup helpers.
+type Matrix struct {
+	Cells []Cell
+}
+
+// Get fetches one cell's value.
+func (m *Matrix) Get(w, r, p string) (float64, bool) {
+	for _, c := range m.Cells {
+		if c.Workload == w && c.Ratio == r && c.Policy == p {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Best returns the winning policy of a (workload, ratio) cell and the
+// runner-up, with their values.
+func (m *Matrix) Best(w, r string) (best, second string, bv, sv float64) {
+	type pv struct {
+		p string
+		v float64
+	}
+	var vals []pv
+	for _, c := range m.Cells {
+		if c.Workload == w && c.Ratio == r {
+			vals = append(vals, pv{c.Policy, c.Value})
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v > vals[j].v })
+	if len(vals) > 0 {
+		best, bv = vals[0].p, vals[0].v
+	}
+	if len(vals) > 1 {
+		second, sv = vals[1].p, vals[1].v
+	}
+	return best, second, bv, sv
+}

@@ -1,0 +1,425 @@
+package bench
+
+import (
+	"fmt"
+
+	memtis "memtis/internal/core"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/workload"
+)
+
+// Fig5 runs the headline comparison: every workload x ratio x system,
+// normalised to the all-capacity-tier (THP) run, plus the geomean row.
+func Fig5(cfg Config, workloads []string, ratios []Ratio, pols []string) (*Matrix, Table) {
+	if workloads == nil {
+		workloads = workloadNames()
+	}
+	if ratios == nil {
+		ratios = MainRatios
+	}
+	if pols == nil {
+		pols = Policies
+	}
+	m := &Matrix{}
+	t := Table{
+		Title:  fmt.Sprintf("Figure 5: normalized performance (capacity tier: %s)", cfg.CapKind),
+		Header: append([]string{"workload", "ratio"}, pols...),
+	}
+	for _, wname := range workloads {
+		base := RunBaseline(wname, cfg)
+		for _, r := range ratios {
+			row := []interface{}{wname, r.Name}
+			for _, p := range pols {
+				res := RunOne(wname, p, r, cfg)
+				v := Norm(res, base)
+				m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: r.Name, Policy: p, Value: v, Result: res})
+				row = append(row, v)
+			}
+			t.AddRow(row...)
+		}
+	}
+	// Geomean rows per ratio.
+	for _, r := range ratios {
+		row := []interface{}{"geomean", r.Name}
+		for _, p := range pols {
+			var vals []float64
+			for _, wname := range workloads {
+				if v, ok := m.Get(wname, r.Name, p); ok {
+					vals = append(vals, v)
+				}
+			}
+			row = append(row, Geomean(vals))
+		}
+		t.AddRow(row...)
+	}
+	return m, t
+}
+
+// Fig6 is the Graph500 scalability sweep: paper RSS 128GB to 690GB with
+// the fast tier fixed at 64GB. A tighter scale (1GB = 2MB) keeps the
+// large points tractable.
+func Fig6(cfg Config, pols []string) (*Matrix, Table) {
+	if pols == nil {
+		pols = Policies
+	}
+	const scale = 2 << 20 // bytes per paper-GB for this figure
+	sizes := []float64{128, 192, 336, 690}
+	const fastGB = 64
+	m := &Matrix{}
+	t := Table{
+		Title:  "Figure 6: Graph500 under varying RSS (fast tier fixed 64GB-equivalent)",
+		Header: append([]string{"rss_gb"}, pols...),
+	}
+	mkCfg := func(rssGB float64, fast uint64) sim.Config {
+		rss := uint64(rssGB * scale)
+		return sim.Config{
+			FastBytes: fast,
+			CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+			CapKind:   cfg.CapKind,
+			THP:       true,
+			Threads:   cfg.Threads,
+			Seed:      cfg.Seed,
+		}
+	}
+	for _, gb := range sizes {
+		// Access budget grows with footprint so init stays a fraction.
+		acc := cfg.Accesses + uint64(gb*scale)/tier.BasePageSize*3
+		baseW, _ := workload.NewScaled("graph500", gb*scale/workload.BytesPerPaperGB)
+		base := sim.Run(mkCfg(gb, tier.HugePageSize*2), NewPolicy("all-capacity"), baseW, acc)
+		row := []interface{}{fmt.Sprintf("%.0f", gb)}
+		for _, p := range pols {
+			fast := uint64(fastGB * scale)
+			if p == "hemem" {
+				over := baseW.Spec().SmallBytes()
+				if over < fast/2 {
+					fast -= over
+				}
+			}
+			w, _ := workload.NewScaled("graph500", gb*scale/workload.BytesPerPaperGB)
+			res := sim.Run(mkCfg(gb, fast), NewPolicy(p), w, acc)
+			v := Norm(res, base)
+			m.Cells = append(m.Cells, Cell{Workload: "graph500", Ratio: fmt.Sprintf("%.0fGB", gb), Policy: p, Value: v, Result: res})
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	return m, t
+}
+
+// Fig7 is the 2:1 configuration (Meta's production target): MEMTIS vs
+// TPP with all-DRAM (with and without THP) references.
+func Fig7(cfg Config) (*Matrix, Table) {
+	m := &Matrix{}
+	t := Table{
+		Title:  "Figure 7: 2:1 configuration",
+		Header: []string{"workload", "alldram_thp", "alldram_nothp", "tpp", "memtis"},
+	}
+	for _, wname := range workloadNames() {
+		base := RunBaseline(wname, cfg)
+		dramTHP := Norm(RunAllFast(wname, true, cfg), base)
+		dramNoTHP := Norm(RunAllFast(wname, false, cfg), base)
+		row := []interface{}{wname, dramTHP, dramNoTHP}
+		for _, p := range []string{"tpp", "memtis"} {
+			res := RunOne(wname, p, Ratio2to1, cfg)
+			v := Norm(res, base)
+			m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: "2:1", Policy: p, Value: v, Result: res})
+			row = append(row, v)
+		}
+		m.Cells = append(m.Cells,
+			Cell{Workload: wname, Ratio: "2:1", Policy: "all-dram-thp", Value: dramTHP},
+			Cell{Workload: wname, Ratio: "2:1", Policy: "all-dram-nothp", Value: dramNoTHP})
+		t.AddRow(row...)
+	}
+	return m, t
+}
+
+// Fig8 compares MEMTIS against HeMem and HeMem+ with 16 application
+// threads (no CPU contention for HeMem's spinning sampler) under 1:2.
+func Fig8(cfg Config) (*Matrix, Table) {
+	cfg.Threads = 16
+	m := &Matrix{}
+	t := Table{
+		Title:  "Figure 8: MEMTIS vs HeMem/HeMem+ with 16 threads (1:2)",
+		Header: []string{"workload", "hemem", "hemem+", "memtis"},
+	}
+	for _, wname := range workloadNames() {
+		base := RunBaseline(wname, cfg)
+		row := []interface{}{wname}
+		for _, p := range []string{"hemem", "hemem+", "memtis"} {
+			res := RunOne(wname, p, Ratio1to2, cfg)
+			v := Norm(res, base)
+			m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: "1:2", Policy: p, Value: v, Result: res})
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	return m, t
+}
+
+// Fig9Series is MEMTIS's identified hot/warm/cold sizes over time.
+type Fig9Series struct {
+	Workload  string
+	Ratio     string
+	FastBytes uint64
+	Points    []sim.SeriesPoint
+}
+
+// Fig9 records MEMTIS's hot-set tracking for four workloads under 1:2
+// and 1:8: the identified hot set should hug the fast tier size.
+func Fig9(cfg Config) ([]Fig9Series, Table) {
+	cfg.RecordNS = recordPeriod(cfg)
+	var out []Fig9Series
+	t := Table{
+		Title:  "Figure 9: hot/warm/cold identified by MEMTIS",
+		Header: []string{"workload", "ratio", "fast_mb", "hot_mean_mb", "hot_final_mb"},
+	}
+	for _, wname := range []string{"pagerank", "xsbench", "liblinear", "603.bwaves"} {
+		for _, r := range []Ratio{Ratio1to2, Ratio1to8} {
+			w := workload.MustNew(wname)
+			mc := MachineFor(w.Spec(), r, "memtis", cfg)
+			res := sim.Run(mc, NewPolicy("memtis"), w, cfg.Accesses)
+			s := Fig9Series{Workload: wname, Ratio: r.Name, FastBytes: mc.FastBytes, Points: res.Series}
+			out = append(out, s)
+			var sum, final uint64
+			var n int
+			// Skip the allocation warm-up third.
+			for i, p := range res.Series {
+				if i < len(res.Series)/3 {
+					continue
+				}
+				sum += p.HotBytes
+				final = p.HotBytes
+				n++
+			}
+			meanHot := uint64(0)
+			if n > 0 {
+				meanHot = sum / uint64(n)
+			}
+			t.AddRow(wname, r.Name, mb(mc.FastBytes), mb(meanHot), mb(final))
+		}
+	}
+	return out, t
+}
+
+// Fig10Row is one workload's ablation outcome.
+type Fig10Row struct {
+	Workload       string
+	PerfVanilla    float64 // normalised to capacity baseline
+	PerfSplit      float64
+	PerfFull       float64
+	TrafficVanilla uint64 // migrated bytes
+	TrafficSplit   uint64
+	TrafficFull    uint64
+}
+
+// Fig10 is the warm-set and split ablation under 1:8: performance and
+// migration traffic for vanilla (no split, no warm set), +split, and
+// +split+warm (full MEMTIS).
+func Fig10(cfg Config) ([]Fig10Row, Table) {
+	t := Table{
+		Title:  "Figure 10: impact of warm set and huge page split (1:8)",
+		Header: []string{"workload", "perf_vanilla", "perf_split", "perf_full", "traffic_vanilla_mb", "traffic_split_mb", "traffic_full_mb"},
+	}
+	var out []Fig10Row
+	for _, wname := range workloadNames() {
+		base := RunBaseline(wname, cfg)
+		rv := RunOne(wname, "memtis-vanilla", Ratio1to8, cfg)
+		rs := RunOne(wname, "memtis-nowarm", Ratio1to8, cfg)
+		rf := RunOne(wname, "memtis", Ratio1to8, cfg)
+		row := Fig10Row{
+			Workload:       wname,
+			PerfVanilla:    Norm(rv, base),
+			PerfSplit:      Norm(rs, base),
+			PerfFull:       Norm(rf, base),
+			TrafficVanilla: rv.VM.MigratedBytes,
+			TrafficSplit:   rs.VM.MigratedBytes,
+			TrafficFull:    rf.VM.MigratedBytes,
+		}
+		out = append(out, row)
+		t.AddRow(wname, row.PerfVanilla, row.PerfSplit, row.PerfFull,
+			mb(row.TrafficVanilla), mb(row.TrafficSplit), mb(row.TrafficFull))
+	}
+	return out, t
+}
+
+// Fig11Series is a throughput-over-time trace for the split timeline.
+type Fig11Series struct {
+	Workload string
+	Policy   string
+	Points   []sim.SeriesPoint
+	RSSFinal uint64
+	Splits   uint64
+}
+
+// Fig11 records Silo and Btree throughput over time under 1:8 for
+// MEMTIS, MEMTIS-NS and the best fault-based baseline: the split kicks
+// in mid-run and lifts throughput; for Btree it also cuts RSS.
+func Fig11(cfg Config) ([]Fig11Series, Table) {
+	cfg.RecordNS = recordPeriod(cfg)
+	var out []Fig11Series
+	t := Table{
+		Title:  "Figure 11: performance over time with and without split (1:8)",
+		Header: []string{"workload", "policy", "tail_tput_Maccess_s", "rss_final_mb", "splits"},
+	}
+	for _, wname := range []string{"silo", "btree"} {
+		for _, p := range []string{"tiering-0.8", "memtis-ns", "memtis"} {
+			w := workload.MustNew(wname)
+			mc := MachineFor(w.Spec(), Ratio1to8, p, cfg)
+			pol := NewPolicy(p)
+			m := sim.NewMachine(mc, pol)
+			w.Run(m, cfg.Accesses)
+			res := m.Finish(wname)
+			var splits uint64
+			if mp, ok := pol.(*memtis.Policy); ok {
+				splits = mp.Splits()
+			}
+			s := Fig11Series{Workload: wname, Policy: p, Points: res.Series, RSSFinal: res.RSSFinal, Splits: splits}
+			out = append(out, s)
+			t.AddRow(wname, p, tailTput(res.Series)/1e6, mb(res.RSSFinal), splits)
+		}
+	}
+	return out, t
+}
+
+// tailTput averages the last-quarter windowed throughput of a series.
+func tailTput(pts []sim.SeriesPoint) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	start := len(pts) * 3 / 4
+	var s float64
+	var n int
+	for _, p := range pts[start:] {
+		s += p.ThroughputWin
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Fig12Row reports the three hit ratios of §6.3.3 for one workload.
+type Fig12Row struct {
+	Workload string
+	EHR      float64 // estimated base-page hit ratio
+	RHR      float64 // measured, with split
+	RHRNS    float64 // measured, split disabled
+}
+
+// Fig12 compares eHR, rHR and rHR-NS under 1:8. Workloads with skewed,
+// low-utilization huge pages (Silo, Btree) show a large eHR-rHRNS gap
+// that splitting closes.
+func Fig12(cfg Config) ([]Fig12Row, Table) {
+	t := Table{
+		Title:  "Figure 12: fast tier hit ratios (1:8)",
+		Header: []string{"workload", "eHR", "rHR", "rHR-NS"},
+	}
+	var out []Fig12Row
+	for _, wname := range workloadNames() {
+		w1 := workload.MustNew(wname)
+		mc := MachineFor(w1.Spec(), Ratio1to8, "memtis", cfg)
+		polFull := memtis.New(memtis.Config{})
+		m1 := sim.NewMachine(mc, polFull)
+		w1.Run(m1, cfg.Accesses)
+
+		w2 := workload.MustNew(wname)
+		polNS := memtis.New(memtis.Config{SplitDisabled: true})
+		m2 := sim.NewMachine(mc, polNS)
+		w2.Run(m2, cfg.Accesses)
+
+		r := Fig12Row{Workload: wname, EHR: polNS.EHR(), RHR: polFull.RHR(), RHRNS: polNS.RHR()}
+		out = append(out, r)
+		t.AddRow(wname, r.EHR, r.RHR, r.RHRNS)
+	}
+	return out, t
+}
+
+// Fig13 is the sensitivity study: threshold-adaptation and cooling
+// intervals swept from 0.1x to 10x their defaults under 2:1, normalised
+// to the default setting.
+func Fig13(cfg Config) (*Matrix, Table) {
+	muls := []float64{0.1, 0.5, 1, 2, 10}
+	m := &Matrix{}
+	t := Table{
+		Title:  "Figure 13: sensitivity to adaptation and cooling intervals (2:1)",
+		Header: []string{"workload", "param", "0.1x", "0.5x", "1x", "2x", "10x"},
+	}
+	for _, wname := range workloadNames() {
+		w := workload.MustNew(wname)
+		fastUnits := MachineFor(w.Spec(), Ratio2to1, "memtis", cfg).FastBytes / tier.BasePageSize
+		defAdapt := fastUnits / 2
+		if defAdapt < 512 {
+			defAdapt = 512
+		}
+		defCool := defAdapt * 4
+		runWith := func(adapt, cool uint64) float64 {
+			ww := workload.MustNew(wname)
+			mc := MachineFor(ww.Spec(), Ratio2to1, "memtis", cfg)
+			pol := memtis.New(memtis.Config{AdaptEvery: adapt, CoolEvery: cool})
+			res := sim.Run(mc, pol, ww, cfg.Accesses)
+			return res.Throughput
+		}
+		ref := runWith(defAdapt, defCool)
+		rowA := []interface{}{wname, "adapt"}
+		rowC := []interface{}{wname, "cool"}
+		for _, mul := range muls {
+			a := uint64(float64(defAdapt) * mul)
+			if a < 1 {
+				a = 1
+			}
+			c := uint64(float64(defCool) * mul)
+			if c < 1 {
+				c = 1
+			}
+			va, vc := 0.0, 0.0
+			if ref > 0 {
+				va = runWith(a, defCool) / ref
+				vc = runWith(defAdapt, c) / ref
+			}
+			m.Cells = append(m.Cells,
+				Cell{Workload: wname, Ratio: fmt.Sprintf("adapt-%gx", mul), Policy: "memtis", Value: va},
+				Cell{Workload: wname, Ratio: fmt.Sprintf("cool-%gx", mul), Policy: "memtis", Value: vc})
+			rowA = append(rowA, va)
+			rowC = append(rowC, vc)
+		}
+		t.AddRow(rowA...)
+		t.AddRow(rowC...)
+	}
+	return m, t
+}
+
+// Fig14 repeats the comparison with emulated CXL memory (177ns) as the
+// capacity tier: MEMTIS vs TPP across the three ratios.
+func Fig14(cfg Config) (*Matrix, Table) {
+	cfg.CapKind = tier.CXL
+	m := &Matrix{}
+	t := Table{
+		Title:  "Figure 14: MEMTIS vs TPP with CXL capacity tier",
+		Header: []string{"workload", "ratio", "tpp", "memtis"},
+	}
+	for _, wname := range workloadNames() {
+		base := RunBaseline(wname, cfg)
+		for _, r := range MainRatios {
+			row := []interface{}{wname, r.Name}
+			for _, p := range []string{"tpp", "memtis"} {
+				res := RunOne(wname, p, r, cfg)
+				v := Norm(res, base)
+				m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: r.Name, Policy: p, Value: v, Result: res})
+				row = append(row, v)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return m, t
+}
+
+func workloadNames() []string {
+	specs := workload.Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

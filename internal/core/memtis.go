@@ -1,0 +1,971 @@
+// Package memtis implements the paper's primary contribution: a tiered
+// memory policy with access-distribution-based hot set classification
+// (§4.2) and skewness-aware page size determination (§4.3), driven by
+// PEBS-style sampling with bounded CPU overhead (§4.1).
+//
+// The policy maintains two exponential histograms — the page access
+// histogram (over hotness factors H_i) and the emulated base-page
+// histogram (over per-4KB hotness) — adapts hot/warm/cold thresholds
+// with Algorithm 1, cools both histograms periodically to track an
+// exponential moving average of access frequency, migrates pages
+// strictly in the background (kmigrated), and splits highly skewed huge
+// pages when the estimated base-page hit ratio (eHR) sufficiently
+// exceeds the measured fast-tier hit ratio (rHR).
+package memtis
+
+import (
+	"memtis/internal/histogram"
+	"memtis/internal/pebs"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+)
+
+// Page flag bits in vm.Page.PFlags used by this policy.
+const (
+	flagInPromo = 1 << iota
+	flagInDemoCold
+	flagInDemoWarm
+	flagRegistered
+	flagScanRef // accessed since the last hybrid accessed-bit scan
+)
+
+// Background work cost model (ns); scaled by the same residual
+// time-compression factor as package vm's costs (see DESIGN.md §4).
+const (
+	coolPageScanNS  = 4       // halve one page's counter + histogram fixup
+	coolSubScanNS   = 1       // halve one subpage counter
+	listScanPageNS  = 2       // demotion-list rebuild visit
+	migBandwidthBPS = 8 << 30 // background migration copy bandwidth (~one core of kmigrated)
+)
+
+// Config tunes the policy. Zero values take scaled paper defaults; see
+// DESIGN.md §4 for the scaling rationale.
+type Config struct {
+	Sampler pebs.Config
+
+	// Alpha is Algorithm 1's fill-target factor (paper: 0.9).
+	Alpha float64
+	// AdaptEvery is the threshold-adaptation interval in samples
+	// (paper: 100K at GB scale; default: fast-tier units / 2).
+	AdaptEvery uint64
+	// CoolEvery is the cooling interval in samples (paper: 2M at GB
+	// scale; default: 4 * AdaptEvery).
+	CoolEvery uint64
+	// KmigratedPeriodNS is the background migration thread's wake
+	// period (paper: 500ms at GB scale; default 1ms virtual).
+	KmigratedPeriodNS uint64
+	// FreeSpaceTarget is the fast-tier free-space threshold that
+	// triggers demotion (paper: 2%).
+	FreeSpaceTarget float64
+	// SplitDisabled turns off skewness-aware huge page splitting
+	// (the paper's MEMTIS-NS ablation).
+	SplitDisabled bool
+	// WarmDisabled turns off the warm set (the paper's "Vanilla"
+	// ablation in Figure 10): every non-hot page is demotable.
+	WarmDisabled bool
+	// SplitBenefitMin is the minimum eHR-rHR gap that triggers
+	// splitting (paper: 5%).
+	SplitBenefitMin float64
+	// Beta is the split-count scale factor of Eq. 2 (paper: 0.4).
+	Beta float64
+	// MaxSplitsPerWake bounds split work per kmigrated wake.
+	MaxSplitsPerWake int
+	// HybridScan enables the paper's §8 extension: a slow page-table
+	// accessed-bit scan that accelerates the cooling of pages sampling
+	// never sees, fixing PEBS's blind spot for rarely-accessed pages.
+	HybridScan bool
+	// HybridScanPeriodNS is the accessed-bit scan period (default 4ms
+	// virtual when HybridScan is set).
+	HybridScanPeriodNS uint64
+}
+
+func (c *Config) fillDefaults(fastUnits, rssHintUnits uint64) {
+	if c.Alpha == 0 {
+		c.Alpha = 0.9
+	}
+	if c.AdaptEvery == 0 {
+		c.AdaptEvery = fastUnits / 2
+		if c.AdaptEvery < 512 {
+			c.AdaptEvery = 512
+		}
+	}
+	if c.CoolEvery == 0 {
+		c.CoolEvery = 3 * c.AdaptEvery
+	}
+	if c.KmigratedPeriodNS == 0 {
+		c.KmigratedPeriodNS = 1_000_000
+	}
+	if c.FreeSpaceTarget == 0 {
+		c.FreeSpaceTarget = 0.02
+	}
+	if c.SplitBenefitMin == 0 {
+		c.SplitBenefitMin = 0.05
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.4
+	}
+	if c.MaxSplitsPerWake == 0 {
+		c.MaxSplitsPerWake = 8
+	}
+	if c.HybridScan && c.HybridScanPeriodNS == 0 {
+		c.HybridScanPeriodNS = 4_000_000
+	}
+	_ = rssHintUnits
+}
+
+// Policy is the MEMTIS tiering policy. Create one per machine run.
+type Policy struct {
+	cfg Config
+	m   *sim.Machine
+	smp *pebs.Sampler
+
+	pageHist histogram.Histogram // H_i scale, units of 4KB pages
+	baseHist histogram.Histogram // emulated base-page histogram
+	th       histogram.Thresholds
+	bth      histogram.Thresholds
+
+	samplesSinceAdapt uint64
+	samplesSinceCool  uint64
+	coolings          uint64
+	adaptations       uint64
+
+	promo    []*vm.Page
+	demoCold []*vm.Page
+	demoWarm []*vm.Page
+
+	nextWake    uint64
+	nextScan    uint64
+	rebuiltWake bool
+
+	// Hit-ratio estimation window (§4.3.1).
+	hrSamples     uint64
+	hrFast        uint64
+	hrEst         float64
+	hugeSamples   uint64
+	distinctHuge  uint64
+	hrEpoch       uint64
+	estimateEvery uint64
+
+	// Lifetime hit-ratio aggregates for Figure 12.
+	totSamples uint64
+	totFast    uint64
+	totEst     float64
+
+	// Skewness buckets rebuilt at each cooling: bucket b holds huge
+	// pages with log2(S_i) == b (clamped).
+	skewBuckets [48][]*vm.Page
+	skewEpoch   uint64
+
+	splitQueue  []*vm.Page
+	splits      uint64
+	dbgQueued   uint64
+	dbgBucketed uint64
+	dbgNs       uint64
+	dbgWindows  uint64
+	dbgRejCount uint64
+	dbgRejUtil  uint64
+	dbgRejU     uint64
+	dbgSeen     uint64
+
+	backgroundNS uint64
+}
+
+var _ sim.Policy = (*Policy)(nil)
+var _ sim.HotSetReporter = (*Policy)(nil)
+
+// New creates a MEMTIS policy with the given configuration.
+func New(cfg Config) *Policy {
+	return &Policy{cfg: cfg}
+}
+
+// Name implements sim.Policy.
+func (p *Policy) Name() string {
+	switch {
+	case p.cfg.SplitDisabled && p.cfg.WarmDisabled:
+		return "memtis-vanilla"
+	case p.cfg.SplitDisabled:
+		return "memtis-ns"
+	case p.cfg.WarmDisabled:
+		return "memtis-nowarm"
+	case p.cfg.HybridScan:
+		return "memtis-hybrid"
+	default:
+		return "memtis"
+	}
+}
+
+// Attach implements sim.Policy.
+func (p *Policy) Attach(m *sim.Machine) {
+	p.m = m
+	fastUnits := m.Fast.CapacityFrames()
+	rssHint := m.Cap.CapacityFrames()
+	p.cfg.fillDefaults(fastUnits, rssHint)
+	p.smp = pebs.NewSampler(p.cfg.Sampler)
+	p.th = histogram.Thresholds{Hot: 1, Warm: 1, Cold: 0}
+	p.bth = p.th
+	p.nextWake = p.cfg.KmigratedPeriodNS
+	p.estimateEvery = fastUnits / 4
+	if p.estimateEvery < 1024 {
+		p.estimateEvery = 1024
+	}
+	m.AS.OnUnmap = p.onUnmap
+}
+
+// PlaceNew implements sim.Policy: MEMTIS allocates on the fast tier
+// whenever memory is available there (§4.2.1); the machine default does
+// exactly that.
+func (p *Policy) PlaceNew(huge bool, vpn uint64) tier.ID { return tier.NoTier }
+
+// BackgroundNS implements sim.Policy.
+func (p *Policy) BackgroundNS() uint64 { return p.backgroundNS + p.smp.SpentNS() }
+
+// BusyCores implements sim.Policy: ksampled/kmigrated are event-driven.
+func (p *Policy) BusyCores() float64 { return 0 }
+
+// Sampler exposes the PEBS controller for overhead reporting (§6.3.5).
+func (p *Policy) Sampler() *pebs.Sampler { return p.smp }
+
+// Coolings returns the number of cooling events performed.
+func (p *Policy) Coolings() uint64 { return p.coolings }
+
+// Splits returns the number of huge pages splintered.
+func (p *Policy) Splits() uint64 { return p.splits }
+
+// Thresholds returns the current page-access-histogram thresholds.
+func (p *Policy) Thresholds() histogram.Thresholds { return p.th }
+
+// EHR returns the lifetime estimated base-page hit ratio.
+func (p *Policy) EHR() float64 { return fratio(p.totEst, p.totSamples) }
+
+// RHR returns the lifetime measured fast-tier hit ratio over samples.
+func (p *Policy) RHR() float64 { return ratio(p.totFast, p.totSamples) }
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fratio(a float64, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / float64(b)
+}
+
+// HotSet implements sim.HotSetReporter from the page access histogram.
+func (p *Policy) HotSet() (hot, warm, cold uint64) {
+	for b := 0; b < histogram.Bins; b++ {
+		sz := p.pageHist.Bin(b) * tier.BasePageSize
+		switch p.th.Classify(b) {
+		case 1:
+			hot += sz
+		case 0:
+			warm += sz
+		default:
+			cold += sz
+		}
+	}
+	return hot, warm, cold
+}
+
+// registerPage adds a newly faulted page to both histograms with
+// initial hotness at the current hot threshold (§4.2.1), preventing new
+// pages from being immediate demotion victims.
+func (p *Policy) registerPage(pg *vm.Page) {
+	if pg.PFlags&flagRegistered != 0 {
+		return
+	}
+	pg.PFlags |= flagRegistered
+	if pg.IsHuge() {
+		pg.Count = 1 << uint(p.th.Hot)
+	} else {
+		pg.Count = (1 << uint(p.th.Hot)) / tier.SubPages
+	}
+	pg.Bin = histogram.BinOf(pg.Hotness())
+	p.pageHist.Add(pg.Bin, pg.Units())
+	if pg.IsHuge() {
+		// Subpage counters start at zero: the emulated base-page view
+		// sees 512 cold 4KB pages until samples arrive.
+		p.baseHist.Add(0, tier.SubPages)
+	} else {
+		p.baseHist.Add(pg.Bin, 1)
+	}
+}
+
+// onUnmap drops a freed page from both histograms.
+func (p *Policy) onUnmap(pg *vm.Page) {
+	if pg.PFlags&flagRegistered == 0 {
+		return
+	}
+	pg.PFlags &^= flagRegistered
+	p.pageHist.Remove(pg.Bin, pg.Units())
+	if pg.IsHuge() {
+		for j := 0; j < tier.SubPages; j++ {
+			p.baseHist.Remove(histogram.BinOf(pg.SubHotness(j)), 1)
+		}
+	} else {
+		p.baseHist.Remove(pg.Bin, 1)
+	}
+}
+
+// OnAccess implements sim.Policy. All MEMTIS work triggered here is
+// background (ksampled) work; the returned critical-path stall is
+// always zero — MEMTIS never extends the critical path (§3).
+func (p *Policy) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
+	if tr.Faulted {
+		p.registerPage(tr.Page)
+	}
+	if p.cfg.HybridScan {
+		tr.Page.PFlags |= flagScanRef
+	}
+	if _, ok := p.smp.Feed(vpn, write); ok {
+		p.processSample(tr)
+	}
+	p.smp.MaybeAdjust(p.m.Now())
+	return 0
+}
+
+// processSample is ksampled's per-record work (§4.1, steps 2-3 of
+// Figure 4): update page and subpage counters, move histogram bins,
+// account hit ratios, and enqueue newly hot capacity-tier pages for
+// promotion.
+func (p *Policy) processSample(tr vm.TouchResult) {
+	pg := tr.Page
+	if pg.Dead() {
+		return
+	}
+	if pg.PFlags&flagRegistered == 0 {
+		p.registerPage(pg)
+	}
+
+	// Page access histogram update.
+	oldBin := pg.Bin
+	pg.Count++
+	newBin := histogram.BinOf(pg.Hotness())
+	if newBin != oldBin {
+		p.pageHist.Move(oldBin, newBin, pg.Units())
+		pg.Bin = newBin
+	}
+
+	// Emulated base-page histogram update. unitHotPrev is the 4KB
+	// unit's hotness before this sample.
+	var unitHotPrev uint64
+	if pg.IsHuge() {
+		pg.EnsureSubCount()
+		j := tr.SubIdx
+		unitHotPrev = pg.SubHotness(j)
+		pg.SubCount[j]++
+		p.baseHist.Move(histogram.BinOf(unitHotPrev), histogram.BinOf(pg.SubHotness(j)), 1)
+	} else {
+		unitHotPrev = (pg.Count - 1) * tier.SubPages
+		if newBin != oldBin {
+			p.baseHist.Move(oldBin, newBin, 1)
+		}
+	}
+
+	// Hit-ratio estimation (§4.3.1).
+	p.hrSamples++
+	p.totSamples++
+	if pg.Tier == tier.FastTier {
+		p.hrFast++
+		p.totFast++
+	}
+	// eHR uses the unit's hotness *before* this sample: it is an
+	// estimated hit only if the unit already belonged to the hottest-
+	// base-pages set. Judging after the increment would let the act of
+	// sampling nominate every sampled page into the hot set and
+	// inflate the estimate under sparse sampling.
+	switch ub := histogram.BinOf(unitHotPrev); {
+	case ub >= p.bth.Hot && unitHotPrev > 0:
+		p.hrEst++
+		p.totEst++
+	case ub == p.bth.MarginBin && unitHotPrev > 0:
+		// Marginal bin: only MarginFrac of it would fit in the fast
+		// tier under base-page-only placement.
+		p.hrEst += p.bth.MarginFrac
+		p.totEst += p.bth.MarginFrac
+	}
+	if pg.IsHuge() {
+		p.hugeSamples++
+		if pg.P0 != p.hrEpoch {
+			pg.P0 = p.hrEpoch
+			p.distinctHuge++
+		}
+	}
+
+	// Promotion candidates: hot capacity-tier pages only. Warm pages
+	// are never migrated proactively — the migration overhead would
+	// overshadow the benefit (§4.2.1); the warm set exists to protect
+	// fast-tier residents from demotion, not to pull pages in.
+	if pg.Tier == tier.CapacityTier && pg.Bin >= p.th.Hot && pg.PFlags&flagInPromo == 0 {
+		pg.PFlags |= flagInPromo
+		p.promo = append(p.promo, pg)
+	}
+
+	p.samplesSinceAdapt++
+	p.samplesSinceCool++
+	if p.samplesSinceAdapt >= p.cfg.AdaptEvery {
+		p.adaptThresholds()
+		p.samplesSinceAdapt = 0
+	}
+	if p.samplesSinceCool >= p.cfg.CoolEvery {
+		p.cool()
+		p.samplesSinceCool = 0
+	}
+	if p.hrSamples >= p.estimateEvery {
+		p.estimateSplitBenefit()
+	}
+}
+
+// adaptThresholds runs Algorithm 1 on both histograms (§4.2.1).
+func (p *Policy) adaptThresholds() {
+	fastUnits := p.m.Fast.CapacityFrames()
+	p.th = histogram.Adapt(&p.pageHist, fastUnits, p.cfg.Alpha)
+	p.bth = histogram.Adapt(&p.baseHist, fastUnits, p.cfg.Alpha)
+	if p.cfg.WarmDisabled {
+		p.th.Warm = p.th.Hot
+		p.th.Cold = p.th.Hot - 1
+	}
+	p.adaptations++
+}
+
+// cool halves every page's access count, shifts both histograms one bin
+// left, fixes top-bin residents, rebuilds demotion lists and the
+// skewness buckets (§4.2.2, §4.3.2). The scan cost is charged to
+// kmigrated's background budget.
+func (p *Policy) cool() {
+	p.coolings++
+	p.skewEpoch++
+	p.pageHist.Cool()
+	p.baseHist.Cool()
+	for i := range p.skewBuckets {
+		p.skewBuckets[i] = p.skewBuckets[i][:0]
+	}
+	p.demoCold = p.demoCold[:0]
+	p.demoWarm = p.demoWarm[:0]
+
+	var scanned, subScanned uint64
+	p.m.AS.ForEachPage(func(pg *vm.Page) {
+		if pg.PFlags&flagRegistered == 0 {
+			return
+		}
+		scanned++
+		shifted := pg.Bin - 1
+		if shifted < 0 {
+			shifted = 0
+		}
+		pg.Count /= 2
+		trueBin := histogram.BinOf(pg.Hotness())
+		if trueBin != shifted {
+			p.pageHist.Move(shifted, trueBin, pg.Units())
+		}
+		pg.Bin = trueBin
+		if pg.IsHuge() {
+			if pg.SubCount != nil {
+				subScanned += tier.SubPages
+				for j := 0; j < tier.SubPages; j++ {
+					oldH := pg.SubHotness(j)
+					if oldH == 0 {
+						continue
+					}
+					sh := histogram.BinOf(oldH) - 1
+					if sh < 0 {
+						sh = 0
+					}
+					pg.SubCount[j] /= 2
+					tb := histogram.BinOf(pg.SubHotness(j))
+					if tb != sh {
+						p.baseHist.Move(sh, tb, 1)
+					}
+				}
+			}
+			p.updateSkewness(pg)
+		} else {
+			// Base pages: the base-page histogram entry mirrors Bin;
+			// the shift already moved it, fix clamping drift.
+			sh := shifted
+			if trueBin != sh {
+				p.baseHist.Move(sh, trueBin, 1)
+			}
+		}
+		pg.PFlags &^= flagInDemoCold | flagInDemoWarm
+		if pg.Tier == tier.FastTier {
+			switch p.th.Classify(pg.Bin) {
+			case -1:
+				pg.PFlags |= flagInDemoCold
+				p.demoCold = append(p.demoCold, pg)
+			case 0:
+				pg.PFlags |= flagInDemoWarm
+				p.demoWarm = append(p.demoWarm, pg)
+			}
+		}
+	})
+	p.backgroundNS += scanned*coolPageScanNS + subScanned*coolSubScanNS
+	p.adaptThresholds()
+	p.tryCollapse()
+}
+
+// updateSkewness computes S_i = sum(H_ij^2)/U_i^2 (Eq. 3) and files the
+// page in its skew bucket. Split candidacy requires statistically
+// meaningful evidence (§4.3.1's "long-term, stable memory access
+// trends"): enough samples on the page, and a genuinely low sampled
+// utilization — a uniformly hot page is never a candidate no matter how
+// hot, because splitting it would only destroy TLB reach.
+func (p *Policy) updateSkewness(pg *vm.Page) {
+	if pg.SubCount == nil {
+		return
+	}
+	const (
+		minSamples           = 32
+		maxUtilPct           = 45
+		maxEffectiveSubpages = 64                // 12.5% of a huge page
+		minDominantHotness   = 8 * tier.SubPages // >= 8 samples on one subpage
+	)
+	p.dbgSeen++
+	if pg.Count < minSamples {
+		p.dbgRejCount++
+		return
+	}
+	// The utilization threshold is the estimator's effective hot
+	// boundary: the margin bin when one exists, the hot threshold
+	// otherwise (a once-sampled subpage can then still count, which is
+	// the right behaviour under sparse sampling).
+	uBin := p.bth.Hot
+	if p.bth.MarginBin >= 0 && p.bth.MarginBin < uBin {
+		uBin = p.bth.MarginBin
+	}
+	if uBin < 1 {
+		uBin = 1
+	}
+	var u, nz, maxSub uint64
+	var sum, lin float64
+	for j := 0; j < tier.SubPages; j++ {
+		h := pg.SubHotness(j)
+		if h == 0 {
+			continue
+		}
+		nz++
+		if histogram.BinOf(h) >= uBin {
+			u++
+		}
+		if h > maxSub {
+			maxSub = h
+		}
+		hf := float64(h)
+		sum += hf * hf
+		lin += hf
+	}
+	if nz*100 > tier.SubPages*maxUtilPct {
+		p.dbgRejUtil++
+		return
+	}
+	if u == 0 || sum == 0 {
+		p.dbgRejU++
+		return
+	}
+	// Concentration gate: (sum H)^2 / sum(H^2) is the effective number
+	// of participating subpages. A uniformly hot page scores near its
+	// sampled-subpage count; a skewed page scores near its handful of
+	// dominant subpages. Splitting a uniformly hot page would only
+	// trade TLB reach for nothing, so demand real concentration.
+	if lin*lin/sum > maxEffectiveSubpages {
+		p.dbgRejU++
+		return
+	}
+	// The dominant subpage must show repeated hits: post-cooling
+	// stragglers sampled once or twice are noise, not skew.
+	if maxSub < minDominantHotness {
+		p.dbgRejU++
+		return
+	}
+	s := sum / float64(u*u)
+	b := 0
+	for s >= 2 && b < len(p.skewBuckets)-1 {
+		s /= 2
+		b++
+	}
+	pg.P1 = p.skewEpoch
+	p.skewBuckets[b] = append(p.skewBuckets[b], pg)
+	p.dbgBucketed++
+}
+
+// estimateSplitBenefit closes one estimation window (§4.3.1): if the
+// emulated base-page hit ratio sufficiently exceeds the measured one,
+// Eq. 2 sizes the split batch and the top-Ns most skewed huge pages are
+// queued for background splitting.
+func (p *Policy) estimateSplitBenefit() {
+	eHR := fratio(p.hrEst, p.hrSamples)
+	rHR := ratio(p.hrFast, p.hrSamples)
+	nrSamples := p.hrSamples
+	avgHP := 1.0
+	if p.distinctHuge > 0 {
+		avgHP = float64(p.hugeSamples) / float64(p.distinctHuge)
+	}
+	p.hrSamples, p.hrFast, p.hrEst = 0, 0, 0
+	p.hugeSamples, p.distinctHuge = 0, 0
+	p.hrEpoch++
+
+	// Split only on long-term trends (§4.3.1): candidates need skewness
+	// data from at least one cooling, so allocation-phase noise never
+	// triggers splintering.
+	if p.cfg.SplitDisabled || p.coolings < 1 || eHR-rHR < p.cfg.SplitBenefitMin {
+		return
+	}
+	lFast := float64(p.m.Fast.LoadNS())
+	dL := float64(p.m.Cap.LoadNS()) - lFast
+	ns := (eHR - rHR) * (dL / lFast) * (float64(nrSamples) * p.cfg.Beta / avgHP)
+	limit := float64(nrSamples) / avgHP
+	if ns > limit {
+		ns = limit
+	}
+	n := int(ns)
+	if n < 1 {
+		n = 1
+	}
+	p.dbgNs += uint64(n)
+	p.dbgWindows++
+	p.queueSplitCandidates(n)
+}
+
+// queueSplitCandidates picks the top-n huge pages by skew bucket.
+func (p *Policy) queueSplitCandidates(n int) {
+	for b := len(p.skewBuckets) - 1; b >= 0 && n > 0; b-- {
+		for _, pg := range p.skewBuckets[b] {
+			if n == 0 {
+				break
+			}
+			if pg.Dead() || !pg.IsHuge() || pg.P1 != p.skewEpoch {
+				continue
+			}
+			pg.P1 = 0 // de-bucket
+			p.splitQueue = append(p.splitQueue, pg)
+			p.dbgQueued++
+			n--
+		}
+	}
+}
+
+// Tick implements sim.Policy; kmigrated wakes on its own period and
+// runs, in order: queued huge-page splits, hot promotions (demoting
+// cold-then-warm fast-tier pages on demand), free-space maintenance,
+// and warm promotions into whatever space remains (evicting only cold
+// pages, so warm never churns against warm).
+func (p *Policy) Tick(now uint64) {
+	if now < p.nextWake {
+		return
+	}
+	for p.nextWake <= now {
+		p.nextWake += p.cfg.KmigratedPeriodNS
+	}
+	p.rebuiltWake = false
+	if p.cfg.HybridScan && now >= p.nextScan {
+		for p.nextScan <= now {
+			p.nextScan += p.cfg.HybridScanPeriodNS
+		}
+		p.hybridScan()
+	}
+	budget := uint64(float64(p.cfg.KmigratedPeriodNS) / 1e9 * migBandwidthBPS)
+	if budget < 2*tier.HugePageSize {
+		// kmigrated always finishes at least one huge-page operation
+		// per wake, even if that overruns a very short period.
+		budget = 2 * tier.HugePageSize
+	}
+	budget = p.runSplits(budget)
+	budget = p.promoteList(&p.promo, flagInPromo, true, budget)
+	p.reclaimTo(p.freeTarget(), true, &budget)
+}
+
+// runSplits splinters queued huge pages (§4.3.3): hot subpages go to
+// the fast tier, cold subpages to the capacity tier, never-written
+// subpages are reclaimed inside vm.Split.
+func (p *Policy) runSplits(budget uint64) uint64 {
+	done := 0
+	for len(p.splitQueue) > 0 && done < p.cfg.MaxSplitsPerWake && budget >= tier.HugePageSize {
+		pg := p.splitQueue[0]
+		p.splitQueue = p.splitQueue[1:]
+		if pg.Dead() || !pg.IsHuge() {
+			continue
+		}
+		p.splitOne(pg)
+		budget -= tier.HugePageSize
+		done++
+	}
+	return budget
+}
+
+func (p *Policy) splitOne(pg *vm.Page) {
+	// Drop the huge page from both histograms; re-register survivors.
+	p.onUnmap(pg)
+	hotBin := p.bth.Hot
+	if p.bth.MarginBin >= 1 && p.bth.MarginBin < hotBin {
+		hotBin = p.bth.MarginBin
+	}
+	subs, ns := p.m.AS.Split(pg, func(j int) tier.ID {
+		if histogram.BinOf(pg.SubHotness(j)) >= hotBin {
+			if p.m.Fast.FreeFrames() > 0 {
+				return tier.FastTier
+			}
+			return tier.NoTier
+		}
+		return tier.CapacityTier
+	})
+	for _, sp := range subs {
+		sp.PFlags = flagRegistered
+		sp.Bin = histogram.BinOf(sp.Hotness())
+		p.pageHist.Add(sp.Bin, 1)
+		p.baseHist.Add(sp.Bin, 1)
+	}
+	p.backgroundNS += ns
+	p.splits++
+}
+
+// freeTarget is the fast-tier free-space threshold in frames: the
+// configured fraction with a floor of two huge frames (capped at a
+// quarter of the tier) so THP allocations can always be absorbed.
+func (p *Policy) freeTarget() uint64 {
+	f := uint64(float64(p.m.Fast.CapacityFrames()) * p.cfg.FreeSpaceTarget)
+	floor := uint64(2 * tier.SubPages)
+	if cap4 := p.m.Fast.CapacityFrames() / 4; floor > cap4 {
+		floor = cap4
+	}
+	if f < floor {
+		f = floor
+	}
+	return f
+}
+
+// promoteList drains one promotion queue. validFlag is the queue's
+// membership flag; allowWarmVictims selects whether reclaim may demote
+// warm fast-tier pages to make room (true for hot candidates only —
+// warm candidates must never displace warm residents).
+func (p *Policy) promoteList(list *[]*vm.Page, validFlag uint32, allowWarmVictims bool, budget uint64) uint64 {
+	target := p.freeTarget()
+	for len(*list) > 0 && budget > 0 {
+		pg := (*list)[0]
+		valid := !pg.Dead() && pg.Tier == tier.CapacityTier
+		if valid {
+			if allowWarmVictims {
+				valid = pg.Bin >= p.th.Hot
+			} else {
+				valid = p.th.Classify(pg.Bin) >= 0
+			}
+		}
+		if !valid {
+			pg.PFlags &^= validFlag
+			*list = (*list)[1:]
+			continue
+		}
+		need := pg.Units() + target
+		if p.m.Fast.FreeFrames() < need {
+			p.reclaimTo(need, allowWarmVictims, &budget)
+			if p.m.Fast.FreeFrames() < need {
+				break
+			}
+		}
+		if pg.Bytes() > budget {
+			break
+		}
+		*list = (*list)[1:]
+		pg.PFlags &^= validFlag
+		if ns, ok := p.m.AS.Migrate(pg, tier.FastTier); ok {
+			p.backgroundNS += ns
+			budget -= pg.Bytes()
+		}
+	}
+	return budget
+}
+
+// reclaimTo demotes fast-tier pages until the tier has at least frames
+// free: cold pages first, warm pages only if still short and allowed
+// (§4.2.3). Hot pages are never demoted.
+func (p *Policy) reclaimTo(frames uint64, allowWarm bool, budget *uint64) {
+	pop := func(list *[]*vm.Page, flag uint32) *vm.Page {
+		for len(*list) > 0 {
+			pg := (*list)[0]
+			*list = (*list)[1:]
+			pg.PFlags &^= flag
+			if pg.Dead() || pg.Tier != tier.FastTier {
+				continue
+			}
+			return pg
+		}
+		return nil
+	}
+	for p.m.Fast.FreeFrames() < frames && *budget > 0 {
+		pg := pop(&p.demoCold, flagInDemoCold)
+		if pg == nil && allowWarm {
+			pg = pop(&p.demoWarm, flagInDemoWarm)
+		}
+		if pg == nil {
+			if p.rebuiltWake || !p.rebuildDemoLists() {
+				return
+			}
+			p.rebuiltWake = true
+			continue
+		}
+		// Re-check classification: the page may have become hot.
+		if pg.Bin >= p.th.Hot {
+			continue
+		}
+		if !allowWarm && p.th.Classify(pg.Bin) == 0 {
+			continue
+		}
+		if pg.Bytes() > *budget {
+			return
+		}
+		if ns, ok := p.m.AS.Migrate(pg, tier.CapacityTier); ok {
+			p.backgroundNS += ns
+			*budget -= pg.Bytes()
+		}
+	}
+}
+
+// rebuildDemoLists rescans fast-tier pages for demotion candidates when
+// both lists run dry under pressure. Returns false if nothing is
+// demotable (all fast-tier pages are hot).
+func (p *Policy) rebuildDemoLists() bool {
+	var scanned uint64
+	p.m.AS.ForEachPage(func(pg *vm.Page) {
+		scanned++
+		if pg.Tier != tier.FastTier || pg.PFlags&(flagInDemoCold|flagInDemoWarm) != 0 {
+			return
+		}
+		switch p.th.Classify(pg.Bin) {
+		case -1:
+			pg.PFlags |= flagInDemoCold
+			p.demoCold = append(p.demoCold, pg)
+		case 0:
+			pg.PFlags |= flagInDemoWarm
+			p.demoWarm = append(p.demoWarm, pg)
+		}
+	})
+	p.backgroundNS += scanned * listScanPageNS
+	return len(p.demoCold)+len(p.demoWarm) > 0
+}
+
+// hybridScan is the §8 extension: an accessed-bit sweep that detects
+// pages the sampler never observes. Untouched-since-last-scan pages
+// have their counters halved an extra time, so idle pages shed the
+// protective initial hotness they were registered with and become
+// demotion candidates without waiting for several sampling-driven
+// coolings. Touched pages just get their reference bit cleared.
+func (p *Policy) hybridScan() {
+	var scanned uint64
+	p.m.AS.ForEachPage(func(pg *vm.Page) {
+		if pg.PFlags&flagRegistered == 0 {
+			return
+		}
+		scanned++
+		if pg.PFlags&flagScanRef != 0 {
+			pg.PFlags &^= flagScanRef
+			return
+		}
+		if pg.Count == 0 {
+			return
+		}
+		oldBin := pg.Bin
+		pg.Count /= 2
+		pg.Bin = histogram.BinOf(pg.Hotness())
+		if pg.Bin != oldBin {
+			p.pageHist.Move(oldBin, pg.Bin, pg.Units())
+			if !pg.IsHuge() {
+				p.baseHist.Move(oldBin, pg.Bin, 1)
+			}
+		}
+		if pg.Tier == tier.FastTier && p.th.Classify(pg.Bin) == -1 &&
+			pg.PFlags&flagInDemoCold == 0 {
+			pg.PFlags |= flagInDemoCold
+			p.demoCold = append(p.demoCold, pg)
+		}
+	})
+	p.backgroundNS += scanned * listScanPageNS
+}
+
+// tryCollapse coalesces aligned runs of 512 base pages back into a huge
+// page when every constituent is hot (§4.3.3). Done during cooling, as
+// the paper's kmigrated does; rare by design.
+func (p *Policy) tryCollapse() {
+	if p.cfg.SplitDisabled {
+		return
+	}
+	type blockInfo struct {
+		present int
+		hot     int
+	}
+	blocks := make(map[uint64]*blockInfo)
+	p.m.AS.ForEachPage(func(pg *vm.Page) {
+		if pg.IsHuge() {
+			return
+		}
+		b := pg.VPN / tier.SubPages
+		bi := blocks[b]
+		if bi == nil {
+			bi = &blockInfo{}
+			blocks[b] = bi
+		}
+		bi.present++
+		if pg.Bin >= p.th.Hot {
+			bi.hot++
+		}
+	})
+	for b, bi := range blocks {
+		if bi.present != tier.SubPages || bi.hot != tier.SubPages {
+			continue
+		}
+		base := b * tier.SubPages
+		dst := tier.CapacityTier
+		if p.m.Fast.HasHugeFrame() {
+			dst = tier.FastTier
+		}
+		// Unregister constituents, collapse, re-register.
+		var olds []*vm.Page
+		for j := uint64(0); j < tier.SubPages; j++ {
+			olds = append(olds, p.m.AS.Lookup(base+j))
+		}
+		hp, ns, ok := p.m.AS.Collapse(base, dst)
+		if !ok {
+			continue
+		}
+		for _, o := range olds {
+			if o != nil && o.PFlags&flagRegistered != 0 {
+				p.pageHist.Remove(o.Bin, 1)
+				p.baseHist.Remove(o.Bin, 1)
+				o.PFlags &^= flagRegistered
+			}
+		}
+		hp.PFlags = flagRegistered
+		hp.Bin = histogram.BinOf(hp.Hotness())
+		p.pageHist.Add(hp.Bin, tier.SubPages)
+		for j := 0; j < tier.SubPages; j++ {
+			p.baseHist.Add(histogram.BinOf(hp.SubHotness(j)), 1)
+		}
+		p.backgroundNS += ns
+	}
+}
+
+// DebugBaseHist exposes the emulated base-page histogram and its
+// thresholds for diagnostics and tests.
+func (p *Policy) DebugBaseHist() (bins [histogram.Bins]uint64, th histogram.Thresholds) {
+	for i := 0; i < histogram.Bins; i++ {
+		bins[i] = p.baseHist.Bin(i)
+	}
+	return bins, p.bth
+}
+
+// DebugSplitStats exposes split pipeline counters for diagnostics.
+func (p *Policy) DebugSplitStats() (queued, executed uint64, queueLen int) {
+	return p.dbgQueued, p.splits, len(p.splitQueue)
+}
+
+// DebugSplitSupply exposes candidate-supply counters for diagnostics.
+func (p *Policy) DebugSplitSupply() (bucketed, nsSum, windows uint64) {
+	return p.dbgBucketed, p.dbgNs, p.dbgWindows
+}
+
+// DebugSplitRejects exposes per-gate rejection counters.
+func (p *Policy) DebugSplitRejects() (seen, rejCount, rejUtil, rejU uint64) {
+	return p.dbgSeen, p.dbgRejCount, p.dbgRejUtil, p.dbgRejU
+}

@@ -1,0 +1,440 @@
+package memtis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memtis/internal/histogram"
+	"memtis/internal/pebs"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+)
+
+// everySample makes the sampler see every access, so tests can reason
+// about counters deterministically.
+func everySample() pebs.Config {
+	return pebs.Config{LoadPeriod: 1, StorePeriod: 1, MinPeriod: 1, MaxPeriod: 1, CostNS: 1}
+}
+
+func newTestMachine(pol sim.Policy, fastBlocks, capBlocks int) *sim.Machine {
+	return sim.NewMachine(sim.Config{
+		FastBytes: uint64(fastBlocks) * tier.HugePageSize,
+		CapBytes:  uint64(capBlocks) * tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      1,
+	}, pol)
+}
+
+// histTotals sums registered units from the machine's pages for
+// cross-checking against the policy's histograms.
+func registeredUnits(m *sim.Machine) uint64 {
+	var u uint64
+	m.AS.ForEachPage(func(p *vm.Page) { u += p.Units() })
+	return u
+}
+
+func TestRegisterAndUnmapKeepHistogramsConsistent(t *testing.T) {
+	pol := New(Config{Sampler: everySample()})
+	m := newTestMachine(pol, 2, 8)
+	r := m.Reserve(2 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	if got, want := pol.pageHist.Total(), registeredUnits(m); got != want {
+		t.Fatalf("pageHist total %d, want %d", got, want)
+	}
+	if got, want := pol.baseHist.Total(), registeredUnits(m); got != want {
+		t.Fatalf("baseHist total %d, want %d", got, want)
+	}
+	m.FreeRegion(r)
+	if pol.pageHist.Total() != 0 || pol.baseHist.Total() != 0 {
+		t.Fatalf("histograms not empty after free: %d/%d", pol.pageHist.Total(), pol.baseHist.Total())
+	}
+}
+
+func TestSampleUpdatesCountersAndBins(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 1 << 30, CoolEvery: 1 << 30})
+	m := newTestMachine(pol, 2, 8)
+	r := m.Reserve(tier.HugePageSize)
+	m.Access(r.BaseVPN+9, false)
+	pg := m.AS.Lookup(r.BaseVPN)
+	base := pg.Count // initial hotness assigned at registration
+	for i := 0; i < 100; i++ {
+		m.Access(r.BaseVPN+9, false)
+	}
+	if pg.Count != base+100 {
+		t.Fatalf("Count = %d, want %d", pg.Count, base+100)
+	}
+	if pg.SubCount[9] != 101 {
+		t.Fatalf("SubCount[9] = %d", pg.SubCount[9])
+	}
+	if pg.Bin != histogram.BinOf(pg.Hotness()) {
+		t.Fatalf("cached bin stale: %d vs %d", pg.Bin, histogram.BinOf(pg.Hotness()))
+	}
+}
+
+func TestCoolingHalvesCounts(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 1 << 30, CoolEvery: 1 << 30})
+	m := newTestMachine(pol, 2, 8)
+	r := m.Reserve(tier.HugePageSize)
+	for i := 0; i < 200; i++ {
+		m.Access(r.BaseVPN+3, false)
+	}
+	pg := m.AS.Lookup(r.BaseVPN)
+	before := pg.Count
+	sub := pg.SubCount[3]
+	pol.cool()
+	if pg.Count != before/2 {
+		t.Fatalf("Count after cooling = %d, want %d", pg.Count, before/2)
+	}
+	if pg.SubCount[3] != sub/2 {
+		t.Fatalf("SubCount after cooling = %d, want %d", pg.SubCount[3], sub/2)
+	}
+	if got, want := pol.pageHist.Total(), registeredUnits(m); got != want {
+		t.Fatalf("pageHist total after cooling %d, want %d", got, want)
+	}
+	if pg.Bin != histogram.BinOf(pg.Hotness()) {
+		t.Fatal("bin not fixed up after cooling")
+	}
+	if pol.Coolings() != 1 {
+		t.Fatal("cooling counter")
+	}
+}
+
+func TestHotCapacityPageGetsPromoted(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), KmigratedPeriodNS: 100_000})
+	m := newTestMachine(pol, 2, 16)
+	// Fill the fast tier (2 blocks) with cold pages, then hammer a
+	// capacity-tier page.
+	r := m.Reserve(6 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	victim := m.AS.Lookup(r.BaseVPN + 5*tier.SubPages)
+	if victim.Tier != tier.CapacityTier {
+		t.Fatal("setup: expected capacity placement")
+	}
+	for i := 0; i < 40_000; i++ {
+		m.Access(victim.VPN+uint64(i%tier.SubPages), false)
+	}
+	pg := m.AS.Lookup(r.BaseVPN + 5*tier.SubPages)
+	if pg.Tier != tier.FastTier {
+		t.Fatalf("hot page still on %v after 40K accesses (bin %d, thr %+v)", pg.Tier, pg.Bin, pol.Thresholds())
+	}
+	if m.AS.Stats().Promotions == 0 {
+		t.Fatal("no promotions recorded")
+	}
+}
+
+func TestMemtisNeverStallsCriticalPath(t *testing.T) {
+	pol := New(Config{Sampler: everySample()})
+	m := newTestMachine(pol, 2, 8)
+	r := m.Reserve(tier.HugePageSize)
+	for i := 0; i < 1000; i++ {
+		tr := m.AS.Touch(r.BaseVPN+uint64(i)%tier.SubPages, false)
+		if got := pol.OnAccess(tr, r.BaseVPN, false); got != 0 {
+			t.Fatalf("OnAccess returned stall %d", got)
+		}
+	}
+}
+
+func TestSplitExecutesOnSkewedPages(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 2000, CoolEvery: 6000, KmigratedPeriodNS: 100_000})
+	m := newTestMachine(pol, 2, 32)
+	// 16 huge pages; one hot subpage per huge page, scattered —
+	// the Silo pattern.
+	r := m.Reserve(30 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 120_000; i++ {
+		blk := uint64(rng.Intn(30))
+		sub := uint64(rng.Intn(4)) // 4 hot subpages per block
+		m.Access(r.BaseVPN+blk*tier.SubPages+sub*131, false)
+	}
+	if pol.Splits() == 0 {
+		t.Fatalf("no splits on maximally skewed workload (eHR=%.2f rHR=%.2f coolings=%d)",
+			pol.EHR(), pol.RHR(), pol.Coolings())
+	}
+	if m.AS.Stats().Splits != pol.Splits() {
+		t.Fatal("split counters disagree")
+	}
+	// Histograms must still be consistent after splits re-registered
+	// the subpages.
+	if got, want := pol.pageHist.Total(), registeredUnits(m); got != want {
+		t.Fatalf("pageHist total %d, want %d after splits", got, want)
+	}
+}
+
+func TestNoSplitOnUniformPages(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 2000, CoolEvery: 6000, KmigratedPeriodNS: 100_000})
+	m := newTestMachine(pol, 2, 32)
+	r := m.Reserve(30 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	rng := rand.New(rand.NewSource(7))
+	// Uniform accesses within a hot half: pages are hot but not skewed.
+	for i := 0; i < 120_000; i++ {
+		blk := uint64(rng.Intn(15))
+		m.Access(r.BaseVPN+blk*tier.SubPages+rng.Uint64()%tier.SubPages, false)
+	}
+	if pol.Splits() != 0 {
+		t.Fatalf("split %d uniformly hot huge pages", pol.Splits())
+	}
+}
+
+func TestSplitDisabledConfig(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), SplitDisabled: true, AdaptEvery: 2000, CoolEvery: 6000, KmigratedPeriodNS: 100_000})
+	m := newTestMachine(pol, 2, 32)
+	r := m.Reserve(30 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 120_000; i++ {
+		m.Access(r.BaseVPN+uint64(rng.Intn(30))*tier.SubPages+uint64(rng.Intn(4))*131, false)
+	}
+	if pol.Splits() != 0 {
+		t.Fatal("memtis-ns split pages")
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Config{
+		"memtis":         {},
+		"memtis-ns":      {SplitDisabled: true},
+		"memtis-nowarm":  {WarmDisabled: true},
+		"memtis-vanilla": {SplitDisabled: true, WarmDisabled: true},
+	}
+	for want, cfg := range cases {
+		if got := New(cfg).Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestWarmDisabledCollapsesThresholds(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), WarmDisabled: true, AdaptEvery: 500, CoolEvery: 1 << 30})
+	m := newTestMachine(pol, 2, 8)
+	r := m.Reserve(4 * tier.HugePageSize)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20_000; i++ {
+		m.Access(r.BaseVPN+rng.Uint64()%r.Pages, false)
+	}
+	th := pol.Thresholds()
+	if th.Warm != th.Hot || th.Cold != th.Hot-1 {
+		t.Fatalf("vanilla thresholds: %+v", th)
+	}
+}
+
+func TestHotSetReporting(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 1000, CoolEvery: 1 << 30})
+	m := newTestMachine(pol, 2, 8)
+	r := m.Reserve(4 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	hot, warm, cold := pol.HotSet()
+	if hot+warm+cold != registeredUnits(m)*tier.BasePageSize {
+		t.Fatalf("hot+warm+cold = %d, want %d", hot+warm+cold, registeredUnits(m)*tier.BasePageSize)
+	}
+}
+
+func TestDemotionUnderPressure(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 1000, CoolEvery: 4000, KmigratedPeriodNS: 100_000})
+	m := newTestMachine(pol, 2, 16)
+	// Fill fast with pages that will cool down, then heat capacity
+	// pages: demotion must make room.
+	r := m.Reserve(8 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	rng := rand.New(rand.NewSource(11))
+	hotBase := r.BaseVPN + 4*tier.SubPages // capacity-resident blocks
+	for i := 0; i < 150_000; i++ {
+		m.Access(hotBase+rng.Uint64()%(4*tier.SubPages), false)
+	}
+	if m.AS.Stats().Demotions == 0 {
+		t.Fatal("no demotions despite hot capacity set exceeding free fast space")
+	}
+	if hit := float64(m.Fast.UsedFrames()) / float64(m.Fast.CapacityFrames()); hit < 0.5 {
+		t.Fatalf("fast tier underused: %.2f", hit)
+	}
+}
+
+// TestQuickHistogramInvariant: for arbitrary access streams, the page
+// access histogram total always equals the registered page units.
+func TestQuickHistogramInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pol := New(Config{Sampler: everySample(), AdaptEvery: 700, CoolEvery: 2100, KmigratedPeriodNS: 50_000})
+		m := newTestMachine(pol, 2, 12)
+		r1 := m.Reserve(3 * tier.HugePageSize)
+		r2 := m.Reserve(64 * tier.BasePageSize) // base-page region
+		for i := 0; i < 20_000; i++ {
+			if rng.Intn(10) < 8 {
+				m.Access(r1.BaseVPN+rng.Uint64()%r1.Pages, rng.Intn(3) == 0)
+			} else {
+				m.Access(r2.BaseVPN+rng.Uint64()%r2.Pages, rng.Intn(3) == 0)
+			}
+		}
+		var units uint64
+		m.AS.ForEachPage(func(p *vm.Page) { units += p.Units() })
+		return pol.pageHist.Total() == units && pol.baseHist.Total() == units
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEHRTracksSkew(t *testing.T) {
+	// A highly skewed stream should estimate a much higher base-page
+	// hit ratio than the measured huge-page-placement one.
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 2000, CoolEvery: 6000, SplitDisabled: true, KmigratedPeriodNS: 100_000})
+	m := newTestMachine(pol, 2, 32)
+	r := m.Reserve(30 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 150_000; i++ {
+		m.Access(r.BaseVPN+uint64(rng.Intn(30))*tier.SubPages+uint64(rng.Intn(2))*211, false)
+	}
+	if pol.EHR() < pol.RHR()+0.05 {
+		t.Fatalf("eHR %.3f should exceed rHR %.3f by the split margin", pol.EHR(), pol.RHR())
+	}
+}
+
+func TestHybridScanDemotesNeverSampledPages(t *testing.T) {
+	// Pages that are registered (with protective initial hotness) but
+	// never accessed again are invisible to sampling; the hybrid scan
+	// must cool them so they become demotion candidates.
+	mk := func(hybrid bool) float64 {
+		pol := New(Config{Sampler: everySample(), HybridScan: hybrid,
+			AdaptEvery: 1000, CoolEvery: 1 << 30, KmigratedPeriodNS: 200_000})
+		m := newTestMachine(pol, 2, 16)
+		idle := m.Reserve(2 * tier.HugePageSize) // fills fast, then idles
+		for i := uint64(0); i < idle.Pages; i++ {
+			m.Access(idle.BaseVPN+i, true)
+		}
+		hot := m.Reserve(2 * tier.HugePageSize) // lands in capacity
+		for i := uint64(0); i < hot.Pages; i++ {
+			m.Access(hot.BaseVPN+i, true)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 60_000; i++ {
+			m.Access(hot.BaseVPN+rng.Uint64()%hot.Pages, false)
+		}
+		// Fraction of the hot region now resident in fast.
+		var fast, total float64
+		for i := uint64(0); i < hot.Pages; i += tier.SubPages {
+			total++
+			if m.AS.Lookup(hot.BaseVPN+i).Tier == tier.FastTier {
+				fast++
+			}
+		}
+		return fast / total
+	}
+	with := mk(true)
+	without := mk(false)
+	if with < without {
+		t.Fatalf("hybrid scan hurt hot-set residency: %.2f vs %.2f", with, without)
+	}
+	if with == 0 {
+		t.Fatal("hybrid scan never enabled promotion of the hot region")
+	}
+}
+
+func TestHybridScanName(t *testing.T) {
+	if New(Config{HybridScan: true}).Name() != "memtis-hybrid" {
+		t.Fatal("name")
+	}
+}
+
+func TestCollapseCoalescesFullyHotBlocks(t *testing.T) {
+	// 512 contiguous, uniformly hot base pages (THP off) must coalesce
+	// into a huge page during cooling.
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 1000, CoolEvery: 5000, KmigratedPeriodNS: 100_000})
+	m := sim.NewMachine(sim.Config{
+		FastBytes: 4 * tier.HugePageSize,
+		CapBytes:  16 * tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       false, // base pages only
+		Seed:      1,
+	}, pol)
+	r := m.Reserve(tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 80_000; i++ {
+		m.Access(r.BaseVPN+rng.Uint64()%r.Pages, false)
+	}
+	if m.AS.Stats().Collapses == 0 {
+		t.Fatal("uniformly hot aligned base pages never collapsed")
+	}
+	pg := m.AS.Lookup(r.BaseVPN)
+	if !pg.IsHuge() {
+		t.Fatal("block not huge after collapse")
+	}
+	// Histogram consistency preserved across the collapse.
+	if got, want := pol.pageHist.Total(), registeredUnits(m); got != want {
+		t.Fatalf("pageHist total %d, want %d", got, want)
+	}
+}
+
+func TestDemotionPrefersColdOverWarm(t *testing.T) {
+	pol := New(Config{Sampler: everySample(), AdaptEvery: 800, CoolEvery: 2400, KmigratedPeriodNS: 100_000})
+	m := newTestMachine(pol, 2, 16)
+	r := m.Reserve(8 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	// Warm up block 0 (fast resident), leave block 1 (fast resident)
+	// cold, then heat capacity blocks to force demand for fast space.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 120_000; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			m.Access(r.BaseVPN+rng.Uint64()%tier.SubPages, false) // block 0: warm-to-hot
+		default:
+			m.Access(r.BaseVPN+4*tier.SubPages+rng.Uint64()%(4*tier.SubPages), false) // hot capacity
+		}
+	}
+	b0 := m.AS.Lookup(r.BaseVPN)
+	b1 := m.AS.Lookup(r.BaseVPN + tier.SubPages)
+	// The cold block should have been demoted before (or instead of)
+	// the warm one.
+	if b1.Tier == tier.FastTier && b0.Tier == tier.CapacityTier {
+		t.Fatalf("warm block demoted while cold block stayed: warm bin %d cold bin %d thr %+v",
+			b0.Bin, b1.Bin, pol.Thresholds())
+	}
+	if m.AS.Stats().Demotions == 0 {
+		t.Fatal("no demotion pressure generated")
+	}
+}
+
+func TestSamplerPeriodBoundedDuringRun(t *testing.T) {
+	pol := New(Config{})
+	m := newTestMachine(pol, 2, 16)
+	r := m.Reserve(8 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	for i := 0; i < 200_000; i++ {
+		m.Access(r.BaseVPN+uint64(i)%r.Pages, false)
+	}
+	p := pol.Sampler().LoadPeriod()
+	def := pebs.DefaultConfig()
+	if p < def.MinPeriod || p > def.MaxPeriod {
+		t.Fatalf("period %d escaped [%d, %d]", p, def.MinPeriod, def.MaxPeriod)
+	}
+	if pol.Sampler().AvgCPUUsage() > 0.06 {
+		t.Fatalf("ksampled CPU %.3f far above budget", pol.Sampler().AvgCPUUsage())
+	}
+}

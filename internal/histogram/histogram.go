@@ -1,0 +1,175 @@
+// Package histogram implements the 16-bin exponential page-access
+// histogram at the heart of MEMTIS (§4.1.3). Bin n covers hotness
+// factors in [2^n, 2^(n+1)); the last bin is unbounded. Bin values count
+// distinct pages at 4KB granularity, so a huge page contributes 512
+// units to its bin. The exponential scale makes cooling (halving every
+// page's access count) a one-position left shift, and Algorithm 1's
+// threshold adaptation a single top-down scan.
+package histogram
+
+import "math/bits"
+
+// Bins is the number of histogram bins (paper default).
+const Bins = 16
+
+// MaxBin is the index of the unbounded top bin.
+const MaxBin = Bins - 1
+
+// BinOf maps a hotness factor to its bin index: floor(log2(h)) clamped
+// to [0, MaxBin]. Hotness 0 and 1 both land in bin 0.
+func BinOf(hotness uint64) int {
+	if hotness <= 1 {
+		return 0
+	}
+	b := bits.Len64(hotness) - 1
+	if b > MaxBin {
+		return MaxBin
+	}
+	return b
+}
+
+// Histogram counts 4KB page units per hotness bin.
+type Histogram struct {
+	bins  [Bins]uint64
+	total uint64
+}
+
+// Add records units 4KB-pages entering bin b.
+func (h *Histogram) Add(b int, units uint64) {
+	h.bins[b] += units
+	h.total += units
+}
+
+// Remove records units 4KB-pages leaving bin b.
+func (h *Histogram) Remove(b int, units uint64) {
+	if h.bins[b] < units || h.total < units {
+		panic("histogram: underflow")
+	}
+	h.bins[b] -= units
+	h.total -= units
+}
+
+// Move transfers units pages from bin from to bin to. Moving within the
+// same bin is a no-op, so callers can invoke it unconditionally after a
+// hotness update.
+func (h *Histogram) Move(from, to int, units uint64) {
+	if from == to {
+		return
+	}
+	if h.bins[from] < units {
+		panic("histogram: move underflow")
+	}
+	h.bins[from] -= units
+	h.bins[to] += units
+}
+
+// Bin returns the page-unit count of bin b.
+func (h *Histogram) Bin(b int) uint64 { return h.bins[b] }
+
+// Total returns the page-unit count across all bins.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Cool shifts every bin one position left, mirroring the halving of all
+// page access counts: a page in [2^n, 2^(n+1)) lands in [2^(n-1), 2^n)
+// after halving. Bins 0 and 1 merge into bin 0. Pages pinned in the
+// unbounded top bin whose halved hotness still exceeds 2^15 are handled
+// by the caller's page scan (§4.2.2): it re-inserts them via Move.
+func (h *Histogram) Cool() {
+	h.bins[0] += h.bins[1]
+	for b := 1; b < MaxBin; b++ {
+		h.bins[b] = h.bins[b+1]
+	}
+	h.bins[MaxBin] = 0
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
+// Clone returns a copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}
+
+// Thresholds is the output of Algorithm 1: bin indexes for the hot, warm
+// and cold boundaries. A page in bin >= Hot is hot; bin <= Cold is cold;
+// anything between is warm.
+type Thresholds struct {
+	Hot  int
+	Warm int
+	Cold int
+	// HotUnits is the accumulated 4KB-page units of the identified hot
+	// set (the "s" of Algorithm 1), for introspection and tests.
+	HotUnits uint64
+	// MarginBin is the first nonzero bin below Hot (-1 if none); only
+	// MarginFrac of it would still fit in the fast tier. Estimators
+	// (eHR, §4.3.1) weight samples from that marginal bin by this
+	// fraction — without it, a single huge marginal bin (e.g. every
+	// subpage sampled exactly once) would count wholesale and inflate
+	// the estimate.
+	MarginBin  int
+	MarginFrac float64
+}
+
+// Classify returns -1 for cold, 0 for warm, +1 for hot.
+func (t Thresholds) Classify(bin int) int {
+	switch {
+	case bin >= t.Hot:
+		return 1
+	case bin <= t.Cold:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Adapt implements Algorithm 1 (dynamic adaptation of thresholds).
+// fastUnits is the fast-tier capacity expressed in 4KB page units and
+// alpha the fill-target factor (paper: 0.9). It scans bins from the top,
+// accumulating page units until adding the next bin would overflow the
+// fast tier; the hot threshold lands just above that bin. When the
+// identified hot set is not close enough to the fast tier capacity
+// (s < fastUnits*alpha), the warm threshold opens up one bin below hot
+// to shield near-hot pages from demotion.
+// Adapt descends from the top bin, accumulating page units while they
+// fit. Exponential hotness factors leave structural gaps (a base page's
+// minimum nonzero hotness is 512 = bin 9), so after the scan the hot
+// threshold is floored at the lowest *nonzero* bin it absorbed —
+// descending through empty bins would otherwise declare bins that no
+// real page occupies "hot" and corrupt the estimators built on the
+// threshold index.
+func Adapt(h *Histogram, fastUnits uint64, alpha float64) Thresholds {
+	var s uint64
+	b := MaxBin
+	lowestNZ := -1
+	for b >= 0 && s+h.bins[b] <= fastUnits {
+		if h.bins[b] > 0 {
+			lowestNZ = b
+		}
+		s += h.bins[b]
+		b--
+	}
+	t := Thresholds{Hot: b + 1, HotUnits: s, MarginBin: -1}
+	if lowestNZ >= 0 && lowestNZ > t.Hot {
+		t.Hot = lowestNZ
+	}
+	if t.Hot < 1 {
+		t.Hot = 1
+	}
+	for mb := t.Hot - 1; mb >= 0; mb-- {
+		if h.bins[mb] > 0 {
+			t.MarginBin = mb
+			t.MarginFrac = float64(fastUnits-s) / float64(h.bins[mb])
+			break
+		}
+	}
+	if float64(s) >= float64(fastUnits)*alpha {
+		t.Warm = t.Hot
+	} else {
+		t.Warm = t.Hot - 1
+	}
+	t.Cold = t.Warm - 1
+	return t
+}

@@ -1,0 +1,232 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinOf(t *testing.T) {
+	cases := []struct {
+		h    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{511, 8}, {512, 9}, {1023, 9}, {1024, 10},
+		{1 << 15, 15}, {1 << 20, 15}, {^uint64(0), 15},
+	}
+	for _, c := range cases {
+		if got := BinOf(c.h); got != c.want {
+			t.Errorf("BinOf(%d) = %d, want %d", c.h, got, c.want)
+		}
+	}
+}
+
+func TestBinOfMatchesRangeDefinition(t *testing.T) {
+	// Bin n covers [2^n, 2^(n+1)) for n < MaxBin.
+	for n := 1; n < MaxBin; n++ {
+		lo := uint64(1) << uint(n)
+		hi := uint64(1)<<uint(n+1) - 1
+		if BinOf(lo) != n || BinOf(hi) != n {
+			t.Fatalf("bin %d range broken: BinOf(%d)=%d BinOf(%d)=%d", n, lo, BinOf(lo), hi, BinOf(hi))
+		}
+	}
+}
+
+func TestAddRemoveMove(t *testing.T) {
+	var h Histogram
+	h.Add(3, 10)
+	h.Add(5, 2)
+	if h.Total() != 12 || h.Bin(3) != 10 || h.Bin(5) != 2 {
+		t.Fatalf("add: %+v", h)
+	}
+	h.Move(3, 5, 4)
+	if h.Bin(3) != 6 || h.Bin(5) != 6 || h.Total() != 12 {
+		t.Fatalf("move: bins %d/%d total %d", h.Bin(3), h.Bin(5), h.Total())
+	}
+	h.Move(5, 5, 6) // same-bin move is a no-op
+	if h.Bin(5) != 6 {
+		t.Fatal("same-bin move changed counts")
+	}
+	h.Remove(3, 6)
+	if h.Total() != 6 {
+		t.Fatalf("remove: total %d", h.Total())
+	}
+}
+
+func TestRemoveUnderflowPanics(t *testing.T) {
+	var h Histogram
+	h.Add(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Remove(2, 2)
+}
+
+func TestCoolShiftsLeft(t *testing.T) {
+	var h Histogram
+	for b := 0; b < Bins; b++ {
+		h.Add(b, uint64(b+1))
+	}
+	total := h.Total()
+	h.Cool()
+	if h.Total() != total {
+		t.Fatalf("cool changed total: %d -> %d", total, h.Total())
+	}
+	// Bin 0 absorbs old bins 0+1; bin b gets old bin b+1; top empties.
+	if h.Bin(0) != 1+2 {
+		t.Fatalf("bin0 = %d, want 3", h.Bin(0))
+	}
+	for b := 1; b < MaxBin; b++ {
+		if h.Bin(b) != uint64(b+2) {
+			t.Fatalf("bin%d = %d, want %d", b, h.Bin(b), b+2)
+		}
+	}
+	if h.Bin(MaxBin) != 0 {
+		t.Fatalf("top bin = %d, want 0", h.Bin(MaxBin))
+	}
+}
+
+func TestCoolMatchesHalvedHotness(t *testing.T) {
+	// Shifting left must equal re-binning pages at halved hotness for
+	// any hotness below the top bin's clamp.
+	prop := func(hotnesses []uint32) bool {
+		var h Histogram
+		for _, x := range hotnesses {
+			h.Add(BinOf(uint64(x)%(1<<15)), 1)
+		}
+		shifted := h.Clone()
+		shifted.Cool()
+		var want Histogram
+		for _, x := range hotnesses {
+			want.Add(BinOf(uint64(x)%(1<<15)/2), 1)
+		}
+		for b := 0; b < Bins; b++ {
+			if shifted.Bin(b) != want.Bin(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptBasics(t *testing.T) {
+	var h Histogram
+	h.Add(12, 100)
+	h.Add(10, 200)
+	h.Add(4, 5000)
+	th := Adapt(&h, 350, 0.9)
+	// Bins 12 and 10 fit (300 <= 350); bin 4 overflows.
+	if th.Hot != 10 {
+		t.Fatalf("Hot = %d, want 10", th.Hot)
+	}
+	if th.HotUnits != 300 {
+		t.Fatalf("HotUnits = %d, want 300", th.HotUnits)
+	}
+	// 300 < 0.9*350 => warm opens one bin below hot.
+	if th.Warm != 9 || th.Cold != 8 {
+		t.Fatalf("Warm/Cold = %d/%d, want 9/8", th.Warm, th.Cold)
+	}
+	if th.MarginBin != 4 {
+		t.Fatalf("MarginBin = %d, want 4", th.MarginBin)
+	}
+	wantFrac := float64(50) / 5000
+	if th.MarginFrac < wantFrac-1e-9 || th.MarginFrac > wantFrac+1e-9 {
+		t.Fatalf("MarginFrac = %v, want %v", th.MarginFrac, wantFrac)
+	}
+}
+
+func TestAdaptFullEnough(t *testing.T) {
+	var h Histogram
+	h.Add(12, 95)
+	h.Add(4, 5000)
+	th := Adapt(&h, 100, 0.9)
+	if th.Hot != 12 {
+		t.Fatalf("Hot = %d, want 12", th.Hot)
+	}
+	// 95 >= 0.9*100: warm == hot.
+	if th.Warm != th.Hot || th.Cold != th.Hot-1 {
+		t.Fatalf("warm/cold: %+v", th)
+	}
+}
+
+func TestAdaptFloorsAtLowestNonzeroBin(t *testing.T) {
+	// Structural gap: subpage hotness never occupies bins 1..8. The
+	// hot threshold must not descend through the empty gap.
+	var h Histogram
+	h.Add(11, 50)
+	h.Add(9, 100)
+	h.Add(0, 100000)
+	th := Adapt(&h, 1000, 0.9)
+	if th.Hot != 9 {
+		t.Fatalf("Hot = %d, want floor at 9", th.Hot)
+	}
+	if th.MarginBin != 0 {
+		t.Fatalf("MarginBin = %d, want 0", th.MarginBin)
+	}
+}
+
+func TestAdaptEmptyHistogram(t *testing.T) {
+	var h Histogram
+	th := Adapt(&h, 100, 0.9)
+	if th.Hot < 1 {
+		t.Fatalf("Hot = %d, must be >= 1", th.Hot)
+	}
+	if th.MarginBin != -1 {
+		t.Fatalf("MarginBin = %d, want -1", th.MarginBin)
+	}
+}
+
+func TestAdaptHotSetNeverOverflowsFastTier(t *testing.T) {
+	prop := func(seed int64, fastUnits uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 200; i++ {
+			h.Add(rng.Intn(Bins), uint64(rng.Intn(100)))
+		}
+		fu := uint64(fastUnits) + 1
+		th := Adapt(&h, fu, 0.9)
+		// The identified hot set must fit in the fast tier.
+		var s uint64
+		for b := th.Hot; b < Bins; b++ {
+			s += h.Bin(b)
+		}
+		if s > fu {
+			// Permitted only when even the top bin alone overflows; in
+			// that case Hot is above every bin with pages... which
+			// would make s zero. So any overflow is a bug.
+			return false
+		}
+		return th.HotUnits <= fu && th.Cold == th.Warm-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	th := Thresholds{Hot: 8, Warm: 7, Cold: 6}
+	if th.Classify(9) != 1 || th.Classify(8) != 1 {
+		t.Fatal("hot classification")
+	}
+	if th.Classify(7) != 0 {
+		t.Fatal("warm classification")
+	}
+	if th.Classify(6) != -1 || th.Classify(0) != -1 {
+		t.Fatal("cold classification")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Add(5, 10)
+	h.Reset()
+	if h.Total() != 0 || h.Bin(5) != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,130 @@
+package pebs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplingCadence(t *testing.T) {
+	s := NewSampler(Config{LoadPeriod: 10, StorePeriod: 100, MinPeriod: 10, MaxPeriod: 10})
+	var loads, stores int
+	for i := 0; i < 1000; i++ {
+		if _, ok := s.Feed(uint64(i), false); ok {
+			loads++
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if _, ok := s.Feed(uint64(i), true); ok {
+			stores++
+		}
+	}
+	if loads != 100 {
+		t.Fatalf("loads sampled %d, want 100", loads)
+	}
+	if stores != 10 {
+		t.Fatalf("stores sampled %d, want 10", stores)
+	}
+	if s.Samples() != 110 {
+		t.Fatalf("Samples = %d", s.Samples())
+	}
+}
+
+func TestSampleCarriesAddress(t *testing.T) {
+	s := NewSampler(Config{LoadPeriod: 1, StorePeriod: 1, MinPeriod: 1, MaxPeriod: 1})
+	smp, ok := s.Feed(42, false)
+	if !ok || smp.VPN != 42 || smp.Write {
+		t.Fatalf("sample: %+v ok=%v", smp, ok)
+	}
+	smp, _ = s.Feed(43, true)
+	if smp.VPN != 43 || !smp.Write {
+		t.Fatalf("store sample: %+v", smp)
+	}
+}
+
+func TestControllerThrottlesUnderLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewSampler(cfg)
+	// Very high sample rate relative to virtual time: CPU usage above
+	// budget, so the period must grow.
+	var now uint64
+	for i := 0; i < 200_000; i++ {
+		s.Feed(uint64(i), false)
+		now += 20 // 20ns per access -> usage = 160/(20*20) = 40%
+		s.MaybeAdjust(now)
+	}
+	if s.LoadPeriod() <= cfg.LoadPeriod {
+		t.Fatalf("period did not grow: %d", s.LoadPeriod())
+	}
+	if s.LoadPeriod() > cfg.MaxPeriod {
+		t.Fatalf("period exceeded max: %d", s.LoadPeriod())
+	}
+	// Store period scales with the load period.
+	if s.StorePeriod() != s.LoadPeriod()*(cfg.StorePeriod/cfg.LoadPeriod) {
+		t.Fatalf("store period %d not scaled with load period %d", s.StorePeriod(), s.LoadPeriod())
+	}
+}
+
+func TestControllerRelaxesWhenIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LoadPeriod = 140
+	s := NewSampler(cfg)
+	var now uint64
+	for i := 0; i < 200_000; i++ {
+		s.Feed(uint64(i), false)
+		now += 4000 // very slow accesses: usage ~ 160/(140*4000) << budget
+		s.MaybeAdjust(now)
+	}
+	if s.LoadPeriod() >= 140 {
+		t.Fatalf("period did not shrink: %d", s.LoadPeriod())
+	}
+	if s.LoadPeriod() < cfg.MinPeriod {
+		t.Fatalf("period below min: %d", s.LoadPeriod())
+	}
+}
+
+func TestHysteresisHoldsInsideBand(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewSampler(cfg)
+	// Tune access cost so usage sits exactly at the budget: period 20,
+	// cost 160 -> accessNS = 160/(0.03*20) = 266.
+	var now uint64
+	for i := 0; i < 400_000; i++ {
+		s.Feed(uint64(i), false)
+		now += 266
+		s.MaybeAdjust(now)
+	}
+	if s.LoadPeriod() != cfg.LoadPeriod {
+		t.Fatalf("period moved inside hysteresis band: %d", s.LoadPeriod())
+	}
+	if u := s.AvgCPUUsage(); u < 0.02 || u > 0.04 {
+		t.Fatalf("avg usage %v outside expected band", u)
+	}
+}
+
+func TestSpentNSAccumulates(t *testing.T) {
+	s := NewSampler(Config{LoadPeriod: 2, StorePeriod: 2, MinPeriod: 2, MaxPeriod: 2, CostNS: 100})
+	for i := 0; i < 10; i++ {
+		s.Feed(0, false)
+	}
+	if s.SpentNS() != 5*100 {
+		t.Fatalf("SpentNS = %d", s.SpentNS())
+	}
+}
+
+func TestQuickSampleRateBounded(t *testing.T) {
+	// Regardless of adjustment dynamics, samples <= accesses/minPeriod.
+	prop := func(n uint16, seed int64) bool {
+		s := NewSampler(DefaultConfig())
+		total := int(n) + 1000
+		var now uint64
+		for i := 0; i < total; i++ {
+			s.Feed(uint64(i), i%7 == 0)
+			now += uint64(50 + (seed+int64(i))%200)
+			s.MaybeAdjust(now)
+		}
+		return s.Samples() <= uint64(total)/DefaultConfig().MinPeriod+2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package policy implements the six state-of-the-art tiering systems the
+// paper evaluates MEMTIS against (§6.1): AutoNUMA, AutoTiering,
+// Tiering-0.8, TPP, Nimble and HeMem, plus a no-migration Static
+// reference. Each baseline reproduces the tracking mechanism, hotness
+// metric, thresholding and migration path summarised in the paper's
+// Table 1, using the same simulator substrate as MEMTIS so that
+// differences in outcome stem from policy, not plumbing.
+package policy
+
+import (
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+)
+
+// Page flag bits shared by the baselines (one policy owns a machine's
+// pages at a time, so reuse across policies is safe).
+const (
+	flagArmed    = 1 << iota // hint fault armed (page unmapped for tracking)
+	flagAccessed             // accessed bit since last scan
+	flagQueued               // on some policy list
+)
+
+// Cost model for tracking mechanisms (ns): measured Linux costs, not
+// scaled — fault-based tracking pays its real critical-path price per
+// event, and the *rate* of hint-fault arming is what kernels bound
+// (AutoNUMA scans a fixed window per period), which the Rearmer models.
+const (
+	HintFaultNS = 1_200 // minor NUMA-hint fault servicing
+	ScanPageNS  = 150   // one PTE unmap/check (incl. amortised shootdown)
+	SyncExtraNS = 2_000 // extra critical-path bookkeeping for in-fault migration
+)
+
+// Base carries the plumbing every baseline shares: machine binding, a
+// page registry in fault order, and background CPU accounting.
+type Base struct {
+	M    *sim.Machine
+	BgNS uint64
+
+	Registry []*vm.Page
+
+	// Critical-path migration rate limiting, modelling the kernel's
+	// numa_balancing rate limit (~256MB/s). Token bucket refilled by
+	// virtual time.
+	rateInit   bool
+	rateLastNS uint64
+	rateTokens float64
+}
+
+// syncRateBPS is the critical-path migration budget in bytes/second.
+const syncRateBPS = 256 << 20
+
+// allowSync consumes rate-limit tokens for a critical-path migration,
+// returning false when the budget is exhausted.
+func (b *Base) allowSync(bytes uint64) bool {
+	now := b.M.Now()
+	if !b.rateInit {
+		b.rateInit = true
+		b.rateLastNS = now
+		b.rateTokens = 4 << 20
+	}
+	b.rateTokens += float64(now-b.rateLastNS) / 1e9 * syncRateBPS
+	if max := float64(32 << 20); b.rateTokens > max {
+		b.rateTokens = max
+	}
+	b.rateLastNS = now
+	if b.rateTokens < float64(bytes) {
+		return false
+	}
+	b.rateTokens -= float64(bytes)
+	return true
+}
+
+// Attach implements part of sim.Policy.
+func (b *Base) Attach(m *sim.Machine) { b.M = m }
+
+// BackgroundNS implements part of sim.Policy.
+func (b *Base) BackgroundNS() uint64 { return b.BgNS }
+
+// BusyCores implements part of sim.Policy.
+func (b *Base) BusyCores() float64 { return 0 }
+
+// PlaceNew implements part of sim.Policy: default fast-first placement.
+func (b *Base) PlaceNew(huge bool, vpn uint64) tier.ID { return tier.NoTier }
+
+// Register records a newly faulted page in the policy registry.
+func (b *Base) Register(pg *vm.Page) {
+	b.Registry = append(b.Registry, pg)
+}
+
+// Compact drops dead pages from the registry (amortised).
+func (b *Base) Compact() {
+	live := b.Registry[:0]
+	for _, pg := range b.Registry {
+		if !pg.Dead() {
+			live = append(live, pg)
+		}
+	}
+	b.Registry = live
+}
+
+// MigrateSync migrates on the critical path and returns the stall the
+// application experiences (used by fault-handler promotion paths).
+// Subject to the kernel-style migration rate limit.
+func (b *Base) MigrateSync(pg *vm.Page, dst tier.ID) (uint64, bool) {
+	if !b.allowSync(pg.Bytes()) {
+		return 0, false
+	}
+	ns, ok := b.M.AS.Migrate(pg, dst)
+	if !ok {
+		return 0, false
+	}
+	return ns + SyncExtraNS, true
+}
+
+// MigrateAsync migrates in the background, charging the daemon budget.
+func (b *Base) MigrateAsync(pg *vm.Page, dst tier.ID) bool {
+	ns, ok := b.M.AS.Migrate(pg, dst)
+	if !ok {
+		return false
+	}
+	b.BgNS += ns
+	return true
+}
+
+// FastReserveFrames converts a fraction of the fast tier into frames.
+func (b *Base) FastReserveFrames(frac float64) uint64 {
+	return uint64(float64(b.M.Fast.CapacityFrames()) * frac)
+}
+
+// HeadroomFrames is FastReserveFrames with a floor of two huge frames
+// (capped at a quarter of the tier), so that policies keeping
+// allocation head-room can actually absorb a 2MB THP fault — kernel
+// watermarks are absolute, not purely proportional.
+func (b *Base) HeadroomFrames(frac float64) uint64 {
+	f := b.FastReserveFrames(frac)
+	floor := uint64(2 * tier.SubPages)
+	if cap4 := b.M.Fast.CapacityFrames() / 4; floor > cap4 {
+		floor = cap4
+	}
+	if f < floor {
+		f = floor
+	}
+	return f
+}
+
+// Rearmer re-arms hint faults round-robin over the registry at a fixed
+// page rate, modelling AutoNUMA-style rate-limited VA-space scanning
+// (the kernel unmaps a bounded window per scan period, not the whole
+// address space).
+type Rearmer struct {
+	RatePerSec float64 // pages armed per second of virtual time
+	idx        int
+	lastNS     uint64
+	carry      float64
+	// SweepEpoch increments each time the round-robin wraps, letting
+	// policies age per-sweep state (history vectors).
+	SweepEpoch uint64
+}
+
+// Advance re-arms the next slice of pages proportional to elapsed time.
+// The caller charges scan costs; Advance returns pages re-armed.
+func (r *Rearmer) Advance(b *Base, now uint64) int {
+	if r.RatePerSec == 0 {
+		r.RatePerSec = 250_000
+	}
+	if r.lastNS == 0 || len(b.Registry) == 0 {
+		r.lastNS = now
+		return 0
+	}
+	elapsed := now - r.lastNS
+	r.lastNS = now
+	// The rate budget is in 4KB units: unmapping a huge page's PMD
+	// covers 512 base pages' worth of scan window, exactly like the
+	// kernel's scan-size accounting.
+	r.carry += float64(elapsed) * r.RatePerSec / 1e9
+	armed := 0
+	guard := len(b.Registry) // at most one full sweep per call
+	for r.carry >= 1 && guard > 0 {
+		if r.idx >= len(b.Registry) {
+			r.idx = 0
+			r.SweepEpoch++
+			b.Compact()
+			if len(b.Registry) == 0 {
+				return armed
+			}
+		}
+		pg := b.Registry[r.idx]
+		r.idx++
+		guard--
+		if pg.Dead() {
+			continue
+		}
+		pg.PFlags |= flagArmed
+		r.carry -= float64(pg.Units())
+		armed++
+	}
+	if r.carry > 0 && guard == 0 {
+		r.carry = 0
+	}
+	return armed
+}

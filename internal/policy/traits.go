@@ -1,0 +1,32 @@
+package policy
+
+// Traits summarises a tiering system along the dimensions of the
+// paper's Table 1 (access tracking, memory placement, page size).
+type Traits struct {
+	Name            string
+	Mechanism       string // access-tracking mechanism
+	SubpageTracking bool
+	PromotionMetric string
+	DemotionMetric  string
+	Thresholding    string
+	CriticalPath    string // migration on the critical path
+	PageSize        string // page-size consideration
+}
+
+// AllTraits reproduces the rows of Table 1, including the two systems
+// (MULTI-CLOCK, TMTS) that appear in the comparison table but not in
+// the quantitative evaluation.
+func AllTraits() []Traits {
+	return []Traits{
+		{"AutoNUMA", "Page fault", false, "Recency", "-", "Static access count", "Promotion", "None"},
+		{"AutoTiering", "Page fault", false, "Recency", "Frequency", "Static count (promo), LFU (demo)", "Promotion", "None"},
+		{"Tiering-0.8", "Page fault", false, "Recency", "Recency", "Promotion rate", "Promotion", "None"},
+		{"TPP", "Page fault", false, "Recency + Frequency", "Recency", "Static access count", "Promotion", "None"},
+		{"HotBox", "Page fault", false, "Recency + Frequency", "Recency", "Static access count", "Promotion", "Base page only"},
+		{"Nimble", "PT scanning", false, "Recency", "Recency", "Static access count", "None", "None"},
+		{"MULTI-CLOCK", "PT scanning", false, "Recency + Frequency", "Recency", "Static access count", "None", "None"},
+		{"TMTS", "PT scan & HW sampling", false, "Recency + Frequency", "Recency", "Static count (promo), idle age (demo)", "None", "Split upon demotion"},
+		{"HeMem", "HW-based sampling", false, "Recency + Frequency", "Recency + Frequency", "Static access count", "None", "None"},
+		{"MEMTIS", "HW-based sampling", true, "EMA of access frequency", "EMA of access frequency", "Memory access distribution", "None", "Split based on access skew"},
+	}
+}

@@ -1,0 +1,189 @@
+// Package render draws the evaluation's figures as plain text — grouped
+// bar charts for the performance comparisons, line charts for the
+// time-series figures and shaded grids for heat maps — so a terminal-only
+// environment still gets *figures*, not just tables. cmd/paperfigs
+// writes one .plot.txt per figure with these renderers.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades from cold to hot for heat maps.
+var shades = []rune{' ', '░', '▒', '▓', '█'}
+
+// BarGroup is one cluster of bars (one workload/ratio cell).
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// Bar is one value within a group.
+type Bar struct {
+	Name  string
+	Value float64
+}
+
+// BarChart renders horizontal grouped bars scaled to width columns.
+func BarChart(title string, groups []BarGroup, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var max float64
+	nameW, labelW := 0, 0
+	for _, g := range groups {
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+		for _, b := range g.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+			if len(b.Name) > nameW {
+				nameW = len(b.Name)
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "%-*s\n", labelW, g.Label)
+		for _, b := range g.Bars {
+			n := int(b.Value / max * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&sb, "  %-*s |%s %.3f\n", nameW, b.Name, strings.Repeat("█", n), b.Value)
+		}
+	}
+	return sb.String()
+}
+
+// Series is one line of a line chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders series on a shared (width x height) character
+// canvas, one glyph per series, with a y-axis scale and legend.
+func LineChart(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		return title + "\n(no data)\n"
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				canvas[row][cx] = g
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for i, row := range canvas {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%8.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&sb, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%8s  %-*.2f%*.2f\n", "", width/2, minX, width-width/2, maxX)
+	sb.WriteString("legend:")
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// HeatGrid renders a (time x space) count grid with intensity shading,
+// time running down the page.
+func HeatGrid(title string, grid [][]uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(grid) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	var max uint64
+	for _, row := range grid {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, row := range grid {
+		sb.WriteByte('|')
+		for _, v := range row {
+			idx := int(float64(v) / float64(max) * float64(len(shades)-1))
+			if v > 0 && idx == 0 {
+				idx = 1
+			}
+			sb.WriteRune(shades[idx])
+		}
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "time ↓, address →, %d columns, max %d accesses/cell\n", len(grid[0]), max)
+	return sb.String()
+}
+
+// Sparkline compresses one value series into a single line.
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		i := int(v / max * float64(len(levels)-1))
+		if i < 0 {
+			i = 0
+		}
+		sb.WriteRune(levels[i])
+	}
+	return sb.String()
+}

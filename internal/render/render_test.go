@@ -1,0 +1,102 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("perf", []BarGroup{
+		{Label: "silo 1:8", Bars: []Bar{{"memtis", 1.8}, {"tpp", 1.0}}},
+		{Label: "btree 1:8", Bars: []Bar{{"memtis", 1.5}, {"tpp", 0.6}}},
+	}, 40)
+	if !strings.Contains(out, "silo 1:8") || !strings.Contains(out, "memtis") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// The largest bar reaches full width; the 0.6 bar is shorter than
+	// the 1.8 bar.
+	lines := strings.Split(out, "\n")
+	barLen := func(s string) int { return strings.Count(s, "█") }
+	var memtisSilo, tppBtree int
+	for _, l := range lines {
+		if strings.Contains(l, "memtis") && memtisSilo == 0 {
+			memtisSilo = barLen(l)
+		}
+		if strings.Contains(l, "tpp") {
+			tppBtree = barLen(l)
+		}
+	}
+	if memtisSilo <= tppBtree {
+		t.Fatalf("bar scaling wrong: %d vs %d\n%s", memtisSilo, tppBtree, out)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	out := BarChart("t", []BarGroup{{Label: "g", Bars: []Bar{{"a", 0}}}}, 10)
+	if !strings.Contains(out, "0.000") {
+		t.Fatal("zero bar missing value")
+	}
+	if BarChart("t", nil, 0) == "" {
+		t.Fatal("empty chart should still render title")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	out := LineChart("tput", []Series{
+		{Name: "memtis", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 3, 4}},
+		{Name: "ns", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1.5, 2, 2.5}},
+	}, 40, 8)
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "*=memtis") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series glyphs missing")
+	}
+	// Rising series: the topmost canvas rows contain the '*' glyph.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") && !strings.Contains(lines[2], "*") {
+		t.Fatalf("peak not at top:\n%s", out)
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if !strings.Contains(LineChart("t", nil, 40, 8), "no data") {
+		t.Fatal("empty chart")
+	}
+	one := LineChart("t", []Series{{Name: "a", X: []float64{5}, Y: []float64{1}}}, 40, 8)
+	if !strings.Contains(one, "no data") {
+		t.Fatal("single-point series has zero x-range")
+	}
+}
+
+func TestHeatGrid(t *testing.T) {
+	out := HeatGrid("heat", [][]uint64{
+		{0, 1, 10},
+		{10, 1, 0},
+	})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "█") {
+		t.Fatalf("hot cell not full-shade:\n%s", out)
+	}
+	// Zero cells are blank, nonzero cells never blank.
+	if !strings.HasPrefix(lines[1], "| ") {
+		t.Fatalf("cold cell not blank:\n%s", out)
+	}
+	if strings.Contains(HeatGrid("x", nil), "█") {
+		t.Fatal("empty grid")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 4})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("length: %q", s)
+	}
+	r := []rune(s)
+	if r[0] == r[3] {
+		t.Fatalf("no gradient: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+}

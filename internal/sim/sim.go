@@ -1,0 +1,321 @@
+// Package sim is the discrete, deterministic tiered-memory machine
+// simulator. A Machine wires a workload's access stream through a TLB
+// model and an address space over two memory tiers, charges every
+// access the latency of the tier its page lives on, and drives a
+// pluggable tiering Policy (MEMTIS or one of the baselines).
+//
+// Virtual time is the time experienced by one representative
+// application thread: each access advances the clock by translation
+// cost + tier latency + any critical-path stall (demand fault, hint
+// fault, synchronous migration). Background daemons (ksampled,
+// kmigrated, scanners) consume modelled CPU time that is reported and —
+// when the application saturates every core, as the paper's 20-thread
+// runs do — converted into a contention slowdown of cores/(cores-used).
+package sim
+
+import (
+	"math/rand"
+
+	"memtis/internal/tier"
+	"memtis/internal/tlb"
+	"memtis/internal/vm"
+)
+
+// Policy is a tiering system under test. Exactly one policy is attached
+// to a machine; it sees every access (for fault- and scan-based
+// tracking this doubles as the accessed-bit/page-fault stream — PEBS
+// policies feed their own sampler from it), is ticked on a fixed
+// virtual-time period for background work, and decides initial page
+// placement.
+type Policy interface {
+	Name() string
+	// Attach binds the policy to the machine before the workload runs.
+	Attach(m *Machine)
+	// PlaceNew picks the tier for a faulting page; tier.NoTier selects
+	// the machine default (fast while free, then capacity).
+	PlaceNew(huge bool, vpn uint64) tier.ID
+	// OnAccess observes one access and returns any critical-path stall
+	// it inflicts (hint fault, sync migration) in nanoseconds.
+	OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64
+	// Tick runs background work; called every Machine TickNS.
+	Tick(now uint64)
+	// BackgroundNS returns cumulative daemon CPU time consumed so far.
+	BackgroundNS() uint64
+	// BusyCores returns cores kept permanently busy by the policy
+	// (e.g. HeMem's spinning sampler thread = 1); 0 for event-driven
+	// daemons whose cost is already in BackgroundNS.
+	BusyCores() float64
+}
+
+// HotSetReporter is implemented by policies that classify pages so the
+// harness can plot identified hot/warm/cold set sizes (Figures 2 and 9).
+type HotSetReporter interface {
+	HotSet() (hotBytes, warmBytes, coldBytes uint64)
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	FastBytes uint64
+	CapBytes  uint64
+	CapKind   tier.Kind // NVM (default) or CXL
+	THP       bool
+	TLB       tlb.Config
+	Cores     int // physical cores (paper: 20)
+	Threads   int // application threads (20 = saturated, 16 = headroom)
+	TickNS    uint64
+	RecordNS  uint64 // series sampling period (0 disables)
+	Seed      int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cores == 0 {
+		c.Cores = 20
+	}
+	if c.Threads == 0 {
+		c.Threads = c.Cores
+	}
+	if c.TickNS == 0 {
+		c.TickNS = 200_000 // 200us virtual between policy ticks
+	}
+}
+
+// SeriesPoint is one sample of the machine's time series.
+type SeriesPoint struct {
+	TimeNS        uint64
+	HotBytes      uint64
+	WarmBytes     uint64
+	ColdBytes     uint64
+	RSSBytes      uint64
+	FastUsed      uint64
+	FastHitWin    float64 // fast-tier hit ratio since the previous point
+	ThroughputWin float64 // accesses per virtual second since previous point
+}
+
+// Result summarises one workload run.
+type Result struct {
+	Policy       string
+	Workload     string
+	Accesses     uint64
+	AppNS        uint64  // raw single-thread virtual time
+	WallNS       uint64  // AppNS inflated by daemon contention
+	Throughput   float64 // accesses per wall-second
+	FastHitRatio float64
+	DaemonUtil   float64 // cores' worth of daemon CPU
+	VM           vm.Stats
+	TLB          tlb.Stats
+	RSSPeak      uint64
+	RSSFinal     uint64
+	Series       []SeriesPoint
+}
+
+// Machine is one simulated two-tier host running a single workload
+// under a single policy.
+type Machine struct {
+	Cfg  Config
+	Fast *tier.Tier
+	Cap  *tier.Tier
+	AS   *vm.AddressSpace
+	TLB  *tlb.TLB
+	Pol  Policy
+	Rand *rand.Rand
+
+	now      uint64
+	accesses uint64
+	fastHits uint64
+
+	nextTick   uint64
+	nextRecord uint64
+
+	lastAccesses uint64
+	lastFastHits uint64
+	lastTime     uint64
+
+	rssPeak uint64
+	series  []SeriesPoint
+
+	// AccessObserver, when set, sees every access (used by the DAMON
+	// and trace-analysis experiments).
+	AccessObserver func(vpn uint64, write bool, now uint64)
+}
+
+type defaultPlacer struct{}
+
+func (defaultPlacer) PlaceNew(bool, uint64) tier.ID { return tier.NoTier }
+
+// NewMachine builds a machine; pol may be nil (no tiering: default
+// placement, no migration), which is the all-on-one-tier baseline when
+// FastBytes is tiny or CapBytes covers everything.
+func NewMachine(cfg Config, pol Policy) *Machine {
+	cfg.fillDefaults()
+	fast := tier.MustNew(tier.Config{Name: "DRAM", Kind: tier.DRAM, Bytes: cfg.FastBytes})
+	capT := tier.MustNew(tier.Config{Name: cfg.CapKind.String(), Kind: cfg.CapKind, Bytes: cfg.CapBytes})
+	m := &Machine{
+		Cfg:  cfg,
+		Fast: fast,
+		Cap:  capT,
+		AS:   vm.NewAddressSpace(fast, capT, cfg.THP),
+		TLB:  tlb.New(cfg.TLB),
+		Pol:  pol,
+		Rand: rand.New(rand.NewSource(cfg.Seed + 7)),
+	}
+	m.nextTick = cfg.TickNS
+	if cfg.RecordNS > 0 {
+		m.nextRecord = cfg.RecordNS
+	}
+	if pol != nil {
+		m.AS.SetPlacer(policyPlacer{pol})
+		pol.Attach(m)
+	} else {
+		m.AS.SetPlacer(defaultPlacer{})
+	}
+	return m
+}
+
+type policyPlacer struct{ p Policy }
+
+func (pp policyPlacer) PlaceNew(huge bool, vpn uint64) tier.ID { return pp.p.PlaceNew(huge, vpn) }
+
+// Now returns the current virtual time in nanoseconds.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Accesses returns the number of accesses issued so far.
+func (m *Machine) Accesses() uint64 { return m.accesses }
+
+// AdvanceBackground lets policies charge additional critical-path time
+// (used by trackers that stall the app outside OnAccess's return path).
+func (m *Machine) AdvanceBackground(ns uint64) { m.now += ns }
+
+// Access issues one memory access to base-page number vpn.
+func (m *Machine) Access(vpn uint64, write bool) {
+	tr := m.AS.Touch(vpn, write)
+	cost := m.TLB.Access(vpn, tr.Page.IsHuge()) + tr.FaultNS
+	if tr.Tier == tier.FastTier {
+		cost += m.Fast.AccessNS(write)
+		m.fastHits++
+	} else {
+		cost += m.Cap.AccessNS(write)
+	}
+	if m.Pol != nil {
+		cost += m.Pol.OnAccess(tr, vpn, write)
+	}
+	m.now += cost
+	m.accesses++
+	if m.AccessObserver != nil {
+		m.AccessObserver(vpn, write, m.now)
+	}
+	for m.now >= m.nextTick {
+		if m.Pol != nil {
+			m.Pol.Tick(m.nextTick)
+		}
+		m.nextTick += m.Cfg.TickNS
+	}
+	if m.nextRecord > 0 && m.now >= m.nextRecord {
+		m.record()
+		for m.nextRecord <= m.now {
+			m.nextRecord += m.Cfg.RecordNS
+		}
+	}
+	if rss := m.AS.RSSBytes(); rss > m.rssPeak {
+		m.rssPeak = rss
+	}
+}
+
+// Reserve exposes address-space reservation to workloads.
+func (m *Machine) Reserve(bytes uint64) vm.Region { return m.AS.Reserve(bytes) }
+
+// FreeRegion unmaps a region (short-lived allocations). The freeing
+// thread pays a small per-page teardown cost.
+func (m *Machine) FreeRegion(r vm.Region) {
+	m.AS.Free(r)
+	m.now += r.Pages * 120 // munmap + page-table teardown per page
+}
+
+func (m *Machine) record() {
+	pt := SeriesPoint{
+		TimeNS:   m.now,
+		RSSBytes: m.AS.RSSBytes(),
+		FastUsed: m.Fast.UsedFrames() * tier.BasePageSize,
+	}
+	if hr, ok := m.Pol.(HotSetReporter); ok && m.Pol != nil {
+		pt.HotBytes, pt.WarmBytes, pt.ColdBytes = hr.HotSet()
+	}
+	dA := m.accesses - m.lastAccesses
+	if dA > 0 {
+		pt.FastHitWin = float64(m.fastHits-m.lastFastHits) / float64(dA)
+	}
+	if dt := m.now - m.lastTime; dt > 0 {
+		pt.ThroughputWin = float64(dA) / (float64(dt) / 1e9)
+	}
+	m.lastAccesses, m.lastFastHits, m.lastTime = m.accesses, m.fastHits, m.now
+	m.series = append(m.series, pt)
+}
+
+// Finish computes the run result. workload names the workload for
+// reporting.
+func (m *Machine) Finish(workload string) Result {
+	polName := "none"
+	var daemonNS uint64
+	var busy float64
+	if m.Pol != nil {
+		polName = m.Pol.Name()
+		daemonNS = m.Pol.BackgroundNS()
+		busy = m.Pol.BusyCores()
+	}
+	elapsed := m.now
+	if elapsed == 0 {
+		elapsed = 1
+	}
+	// Daemon cores: event-driven CPU time amortised over the run plus
+	// permanently busy cores.
+	util := float64(daemonNS)/float64(elapsed) + busy
+	maxUtil := float64(m.Cfg.Cores) - 1
+	if util > maxUtil {
+		util = maxUtil
+	}
+	wall := float64(elapsed)
+	if m.Cfg.Threads >= m.Cfg.Cores && util > 0 {
+		// App wants every core; daemons steal util cores' worth.
+		wall *= float64(m.Cfg.Cores) / (float64(m.Cfg.Cores) - util)
+	}
+	res := Result{
+		Policy:       polName,
+		Workload:     workload,
+		Accesses:     m.accesses,
+		AppNS:        m.now,
+		WallNS:       uint64(wall),
+		FastHitRatio: ratio(m.fastHits, m.accesses),
+		DaemonUtil:   util,
+		VM:           m.AS.Stats(),
+		TLB:          m.TLB.Stats(),
+		RSSPeak:      m.rssPeak,
+		RSSFinal:     m.AS.RSSBytes(),
+		Series:       m.series,
+	}
+	if wall > 0 {
+		res.Throughput = float64(m.accesses) / (wall / 1e9)
+	}
+	return res
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Workload is anything that can drive a machine with an access stream.
+type Workload interface {
+	Name() string
+	// Run issues approximately `accesses` accesses against m, including
+	// any initialisation phase the workload models.
+	Run(m *Machine, accesses uint64)
+}
+
+// Run executes a workload for the given number of accesses on a fresh
+// machine and returns the result.
+func Run(cfg Config, pol Policy, w Workload, accesses uint64) Result {
+	m := NewMachine(cfg, pol)
+	w.Run(m, accesses)
+	return m.Finish(w.Name())
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"testing"
+
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+)
+
+func testCfg() Config {
+	return Config{
+		FastBytes: 2 * tier.HugePageSize,
+		CapBytes:  8 * tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      1,
+	}
+}
+
+// countingPolicy records the hooks the machine invokes.
+type countingPolicy struct {
+	m        *Machine
+	accesses int
+	ticks    int
+	stall    uint64
+	bgNS     uint64
+	busy     float64
+	place    tier.ID
+}
+
+func (p *countingPolicy) Name() string                  { return "counting" }
+func (p *countingPolicy) Attach(m *Machine)             { p.m = m }
+func (p *countingPolicy) PlaceNew(bool, uint64) tier.ID { return p.place }
+func (p *countingPolicy) Tick(uint64)                   { p.ticks++ }
+func (p *countingPolicy) BackgroundNS() uint64          { return p.bgNS }
+func (p *countingPolicy) BusyCores() float64            { return p.busy }
+func (p *countingPolicy) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
+	p.accesses++
+	return p.stall
+}
+
+func TestAccessAdvancesClockByTierLatency(t *testing.T) {
+	pol := &countingPolicy{place: tier.NoTier}
+	m := NewMachine(testCfg(), pol)
+	r := m.Reserve(tier.HugePageSize)
+	m.Access(r.BaseVPN, false)
+	// First access: 2M walk + huge fault + DRAM load.
+	want := uint64(70) + vm.HugeFaultNS + tier.DRAMLoadNS
+	if m.Now() != want {
+		t.Fatalf("clock = %d, want %d", m.Now(), want)
+	}
+	m.Access(r.BaseVPN, false) // TLB hit, no fault
+	if m.Now() != want+tier.DRAMLoadNS {
+		t.Fatalf("clock = %d, want %d", m.Now(), want+tier.DRAMLoadNS)
+	}
+	if pol.accesses != 2 {
+		t.Fatalf("policy saw %d accesses", pol.accesses)
+	}
+}
+
+func TestCapacityTierLatencyCharged(t *testing.T) {
+	pol := &countingPolicy{place: tier.CapacityTier}
+	m := NewMachine(testCfg(), pol)
+	r := m.Reserve(tier.HugePageSize)
+	m.Access(r.BaseVPN, false)
+	m.Access(r.BaseVPN, true)
+	want := uint64(70) + vm.HugeFaultNS + tier.NVMLoadNS + tier.NVMStoreNS
+	if m.Now() != want {
+		t.Fatalf("clock = %d, want %d", m.Now(), want)
+	}
+}
+
+func TestPolicyStallAddsToClock(t *testing.T) {
+	pol := &countingPolicy{place: tier.NoTier, stall: 1000}
+	m := NewMachine(testCfg(), pol)
+	r := m.Reserve(4 * tier.BasePageSize)
+	base := m.Now()
+	m.Access(r.BaseVPN, false)
+	m.Access(r.BaseVPN, false)
+	delta := m.Now() - base
+	want := uint64(96) + vm.BaseFaultNS + 2*tier.DRAMLoadNS + 2*1000
+	if delta != want {
+		t.Fatalf("delta = %d, want %d", delta, want)
+	}
+}
+
+func TestTicksFire(t *testing.T) {
+	cfg := testCfg()
+	cfg.TickNS = 1000
+	pol := &countingPolicy{place: tier.NoTier}
+	m := NewMachine(cfg, pol)
+	r := m.Reserve(tier.HugePageSize)
+	for i := 0; i < 100; i++ {
+		m.Access(r.BaseVPN+uint64(i), false)
+	}
+	if pol.ticks == 0 {
+		t.Fatal("no ticks fired")
+	}
+	approx := int(m.Now() / cfg.TickNS)
+	if pol.ticks < approx-1 || pol.ticks > approx+1 {
+		t.Fatalf("ticks = %d, expected ~%d", pol.ticks, approx)
+	}
+}
+
+func TestContentionInflatesWall(t *testing.T) {
+	pol := &countingPolicy{place: tier.NoTier, busy: 1.0}
+	m := NewMachine(testCfg(), pol) // Threads defaults to Cores: saturated
+	r := m.Reserve(tier.HugePageSize)
+	for i := 0; i < 100; i++ {
+		m.Access(r.BaseVPN, false)
+	}
+	res := m.Finish("w")
+	wantWall := float64(res.AppNS) * 20.0 / 19.0
+	if float64(res.WallNS) < wantWall*0.99 || float64(res.WallNS) > wantWall*1.01 {
+		t.Fatalf("wall = %d, want ~%.0f", res.WallNS, wantWall)
+	}
+	// With spare threads, no contention.
+	cfg := testCfg()
+	cfg.Threads = 16
+	pol2 := &countingPolicy{place: tier.NoTier, busy: 1.0}
+	m2 := NewMachine(cfg, pol2)
+	r2 := m2.Reserve(tier.HugePageSize)
+	for i := 0; i < 100; i++ {
+		m2.Access(r2.BaseVPN, false)
+	}
+	res2 := m2.Finish("w")
+	if res2.WallNS != res2.AppNS {
+		t.Fatal("contention applied despite spare cores")
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	pol := &countingPolicy{place: tier.NoTier}
+	m := NewMachine(testCfg(), pol)
+	r := m.Reserve(tier.HugePageSize) // fast-first: fast tier
+	r2 := m.Reserve(tier.HugePageSize)
+	m.Access(r.BaseVPN, false)
+	m.Access(r.BaseVPN, false)
+	pol.place = tier.CapacityTier
+	m.Access(r2.BaseVPN, false)
+	res := m.Finish("unit")
+	if res.Accesses != 3 {
+		t.Fatalf("accesses = %d", res.Accesses)
+	}
+	want := 2.0 / 3.0
+	if res.FastHitRatio < want-1e-9 || res.FastHitRatio > want+1e-9 {
+		t.Fatalf("hit ratio = %v", res.FastHitRatio)
+	}
+	if res.Workload != "unit" || res.Policy != "counting" {
+		t.Fatal("labels")
+	}
+	if res.RSSFinal != 2*tier.HugePageSize {
+		t.Fatalf("RSS = %d", res.RSSFinal)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput")
+	}
+}
+
+func TestSeriesRecording(t *testing.T) {
+	cfg := testCfg()
+	cfg.RecordNS = 10_000
+	pol := &countingPolicy{place: tier.NoTier}
+	m := NewMachine(cfg, pol)
+	r := m.Reserve(tier.HugePageSize)
+	for i := 0; i < 2000; i++ {
+		m.Access(r.BaseVPN+uint64(i%512), i%5 == 0)
+	}
+	res := m.Finish("w")
+	if len(res.Series) == 0 {
+		t.Fatal("no series points")
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.RSSBytes != tier.HugePageSize {
+		t.Fatalf("series RSS = %d", last.RSSBytes)
+	}
+	if last.FastHitWin <= 0 {
+		t.Fatal("windowed hit ratio missing")
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].TimeNS <= res.Series[i-1].TimeNS {
+			t.Fatal("series not monotonic")
+		}
+	}
+}
+
+func TestNilPolicyRuns(t *testing.T) {
+	m := NewMachine(testCfg(), nil)
+	r := m.Reserve(tier.HugePageSize)
+	m.Access(r.BaseVPN, true)
+	res := m.Finish("w")
+	if res.Policy != "none" || res.Accesses != 1 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+type fixedWorkload struct{ n int }
+
+func (f *fixedWorkload) Name() string { return "fixed" }
+func (f *fixedWorkload) Run(m *Machine, accesses uint64) {
+	r := m.Reserve(tier.HugePageSize)
+	for m.Accesses() < accesses {
+		m.Access(r.BaseVPN+m.Accesses()%512, false)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := Run(testCfg(), &countingPolicy{place: tier.NoTier}, &fixedWorkload{}, 5000)
+	b := Run(testCfg(), &countingPolicy{place: tier.NoTier}, &fixedWorkload{}, 5000)
+	if a.AppNS != b.AppNS || a.FastHitRatio != b.FastHitRatio || a.Accesses != b.Accesses {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAccessObserver(t *testing.T) {
+	m := NewMachine(testCfg(), nil)
+	r := m.Reserve(tier.HugePageSize)
+	var seen int
+	m.AccessObserver = func(vpn uint64, write bool, now uint64) { seen++ }
+	for i := 0; i < 10; i++ {
+		m.Access(r.BaseVPN, false)
+	}
+	if seen != 10 {
+		t.Fatalf("observer saw %d", seen)
+	}
+}

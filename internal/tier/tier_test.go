@@ -1,0 +1,251 @@
+package tier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTier(t *testing.T, blocks int) *Tier {
+	t.Helper()
+	tt, err := New(Config{Name: "t", Kind: DRAM, Bytes: uint64(blocks) * HugePageSize})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tt
+}
+
+func TestNewRejectsTinyTier(t *testing.T) {
+	if _, err := New(Config{Bytes: HugePageSize - 1}); err == nil {
+		t.Fatal("expected error for sub-huge-page tier")
+	}
+}
+
+func TestDefaultsByKind(t *testing.T) {
+	cases := []struct {
+		kind        Kind
+		load, store uint64
+	}{
+		{DRAM, DRAMLoadNS, DRAMStoreNS},
+		{NVM, NVMLoadNS, NVMStoreNS},
+		{CXL, CXLLoadNS, CXLStoreNS},
+	}
+	for _, c := range cases {
+		tt := MustNew(Config{Kind: c.kind, Bytes: 4 * HugePageSize})
+		if tt.LoadNS() != c.load || tt.StoreNS() != c.store {
+			t.Errorf("%v: got load=%d store=%d, want %d/%d", c.kind, tt.LoadNS(), tt.StoreNS(), c.load, c.store)
+		}
+		if tt.AccessNS(false) != c.load || tt.AccessNS(true) != c.store {
+			t.Errorf("%v: AccessNS mismatch", c.kind)
+		}
+	}
+}
+
+func TestExplicitLatenciesOverrideKind(t *testing.T) {
+	tt := MustNew(Config{Kind: NVM, Bytes: 2 * HugePageSize, LoadNS: 123, StoreNS: 456})
+	if tt.LoadNS() != 123 || tt.StoreNS() != 456 {
+		t.Fatalf("explicit latencies not honoured: %d/%d", tt.LoadNS(), tt.StoreNS())
+	}
+}
+
+func TestCapacityRoundsDownToBlocks(t *testing.T) {
+	tt := MustNew(Config{Kind: DRAM, Bytes: 3*HugePageSize + 12345})
+	if got := tt.CapacityFrames(); got != 3*SubPages {
+		t.Fatalf("CapacityFrames = %d, want %d", got, 3*SubPages)
+	}
+	if got := tt.CapacityBytes(); got != 3*HugePageSize {
+		t.Fatalf("CapacityBytes = %d, want %d", got, 3*HugePageSize)
+	}
+}
+
+func TestAllocHugeExhaustion(t *testing.T) {
+	tt := newTestTier(t, 3)
+	var frames []Frame
+	for i := 0; i < 3; i++ {
+		f, err := tt.AllocHuge()
+		if err != nil {
+			t.Fatalf("AllocHuge %d: %v", i, err)
+		}
+		if uint32(f)%SubPages != 0 {
+			t.Fatalf("huge frame %d not aligned", f)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := tt.AllocHuge(); err != ErrOutOfMemory {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	if tt.UsedFrames() != 3*SubPages || tt.FreeFrames() != 0 {
+		t.Fatalf("accounting wrong: used=%d free=%d", tt.UsedFrames(), tt.FreeFrames())
+	}
+	seen := map[Frame]bool{}
+	for _, f := range frames {
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+	}
+	tt.FreeHuge(frames[1])
+	if tt.FreeFrames() != SubPages {
+		t.Fatalf("FreeHuge accounting: free=%d", tt.FreeFrames())
+	}
+	if f, err := tt.AllocHuge(); err != nil || f != frames[1] {
+		t.Fatalf("expected reuse of freed block, got %d err %v", f, err)
+	}
+}
+
+func TestAllocBaseBreaksBlockAndCoalesces(t *testing.T) {
+	tt := newTestTier(t, 2)
+	f0, err := tt.AllocBase()
+	if err != nil {
+		t.Fatalf("AllocBase: %v", err)
+	}
+	// One block is now broken: a huge allocation must still succeed
+	// from the second block.
+	if _, err := tt.AllocHuge(); err != nil {
+		t.Fatalf("AllocHuge after base alloc: %v", err)
+	}
+	// But a second huge allocation cannot (block 1 broken, block 2 used).
+	if _, err := tt.AllocHuge(); err != ErrOutOfMemory {
+		t.Fatalf("expected OOM for second huge, got %v", err)
+	}
+	// Free the base frame: the block coalesces and a huge alloc works.
+	tt.FreeBase(f0)
+	if !tt.HasHugeFrame() {
+		t.Fatal("block did not coalesce after last base free")
+	}
+	if _, err := tt.AllocHuge(); err != nil {
+		t.Fatalf("AllocHuge after coalesce: %v", err)
+	}
+}
+
+func TestAllocBaseSequentialWithinBlock(t *testing.T) {
+	tt := newTestTier(t, 1)
+	prev, err := tt.AllocBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < SubPages; i++ {
+		f, err := tt.AllocBase()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if f != prev+1 {
+			t.Fatalf("expected sequential frames, got %d after %d", f, prev)
+		}
+		prev = f
+	}
+	if _, err := tt.AllocBase(); err != ErrOutOfMemory {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestBreakHugeAllowsIndividualFrees(t *testing.T) {
+	tt := newTestTier(t, 1)
+	f, err := tt.AllocHuge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.BreakHuge(f)
+	if tt.UsedFrames() != SubPages {
+		t.Fatalf("BreakHuge changed usage: %d", tt.UsedFrames())
+	}
+	// Free half the frames.
+	for i := 0; i < SubPages/2; i++ {
+		tt.FreeBase(f + Frame(i))
+	}
+	if tt.FreeFrames() != SubPages/2 {
+		t.Fatalf("free=%d want %d", tt.FreeFrames(), SubPages/2)
+	}
+	// Free the rest: block coalesces back to a huge frame.
+	for i := SubPages / 2; i < SubPages; i++ {
+		tt.FreeBase(f + Frame(i))
+	}
+	if !tt.HasHugeFrame() {
+		t.Fatal("no huge frame after freeing all broken frames")
+	}
+}
+
+func TestFreeHugePanicsOnBaseFrame(t *testing.T) {
+	tt := newTestTier(t, 1)
+	f, _ := tt.AllocHuge()
+	tt.BreakHuge(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tt.FreeHuge(f)
+}
+
+// TestQuickAllocFreeConservation drives a random alloc/free sequence and
+// checks frame conservation and non-overlap invariants throughout.
+func TestQuickAllocFreeConservation(t *testing.T) {
+	prop := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := MustNew(Config{Kind: DRAM, Bytes: 8 * HugePageSize})
+		type alloc struct {
+			f    Frame
+			huge bool
+		}
+		var live []alloc
+		owned := map[Frame]bool{}
+		for i := 0; i < int(ops)+32; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				if f, err := tt.AllocHuge(); err == nil {
+					for k := 0; k < SubPages; k++ {
+						if owned[f+Frame(k)] {
+							return false // overlap
+						}
+						owned[f+Frame(k)] = true
+					}
+					live = append(live, alloc{f, true})
+				}
+			case 1:
+				if f, err := tt.AllocBase(); err == nil {
+					if owned[f] {
+						return false
+					}
+					owned[f] = true
+					live = append(live, alloc{f, false})
+				}
+			case 2:
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				a := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if a.huge {
+					tt.FreeHuge(a.f)
+					for k := 0; k < SubPages; k++ {
+						delete(owned, a.f+Frame(k))
+					}
+				} else {
+					tt.FreeBase(a.f)
+					delete(owned, a.f)
+				}
+			}
+			if tt.UsedFrames() != uint64(len(owned)) {
+				return false
+			}
+			if tt.UsedFrames()+tt.FreeFrames() != tt.CapacityFrames() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if FastTier.String() != "fast" || CapacityTier.String() != "capacity" || NoTier.String() != "none" {
+		t.Fatal("ID.String mismatch")
+	}
+	if DRAM.String() != "DRAM" || NVM.String() != "NVM" || CXL.String() != "CXL" {
+		t.Fatal("Kind.String mismatch")
+	}
+}

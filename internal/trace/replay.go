@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+)
+
+// Capture attaches a trace writer to a machine: every access the
+// machine executes is appended to w. It returns a detach function. Any
+// write error is deferred to the writer's Flush.
+func Capture(m *sim.Machine, w *Writer) (detach func()) {
+	prev := m.AccessObserver
+	m.AccessObserver = func(vpn uint64, write bool, now uint64) {
+		_ = w.Add(vpn, write)
+		if prev != nil {
+			prev(vpn, write, now)
+		}
+	}
+	return func() { m.AccessObserver = prev }
+}
+
+// Replay is a sim.Workload that re-issues a recorded access stream
+// against a fresh machine, mapping the recorded address range into a
+// newly reserved region. Replaying the same trace under different
+// policies gives an exact apples-to-apples placement comparison.
+type Replay struct {
+	name string
+	recs []Record
+	min  uint64
+	span uint64
+}
+
+// NewReplay builds a replay workload from records.
+func NewReplay(name string, recs []Record) *Replay {
+	st := Analyze(recs, 0)
+	span := st.MaxVPN - st.MinVPN + 1
+	if len(recs) == 0 {
+		span = 1
+	}
+	return &Replay{name: name, recs: recs, min: st.MinVPN, span: span}
+}
+
+// Name implements sim.Workload.
+func (r *Replay) Name() string { return r.name }
+
+// Records returns the replayed record count.
+func (r *Replay) Records() int { return len(r.recs) }
+
+// Run implements sim.Workload: the trace loops until the access budget
+// is consumed (a trace shorter than the budget repeats, modelling the
+// iterative structure of the original applications).
+func (r *Replay) Run(m *sim.Machine, accesses uint64) {
+	region := m.Reserve(r.span * tier.BasePageSize)
+	if len(r.recs) == 0 {
+		return
+	}
+	for m.Accesses() < accesses {
+		for _, rec := range r.recs {
+			if m.Accesses() >= accesses {
+				return
+			}
+			m.Access(region.BaseVPN+(rec.VPN-r.min), rec.Write)
+		}
+	}
+}
+
+var _ sim.Workload = (*Replay)(nil)

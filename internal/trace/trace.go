@@ -1,0 +1,230 @@
+// Package trace records, replays and analyses memory access traces of
+// simulated runs. Traces make experiments repeatable across policies
+// (replay the exact same access stream under MEMTIS and every
+// baseline), feed the heat-map analyses of the paper's §2, and let
+// users bring their own captured workloads to the simulator.
+//
+// The on-disk format is deliberately simple and compact: a fixed header
+// followed by one unsigned varint per access, encoding (vpn << 1 |
+// write). A typical benchmark trace costs ~2 bytes per access.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Magic identifies a trace stream.
+var Magic = [4]byte{'M', 'T', 'R', 'C'}
+
+// Version of the trace format.
+const Version = 1
+
+// Record is one memory access.
+type Record struct {
+	VPN   uint64
+	Write bool
+}
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	bw  *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	n   uint64
+}
+
+// NewWriter writes the header and returns a record writer. The caller
+// must Flush before relying on the output.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Add appends one access.
+func (w *Writer) Add(vpn uint64, write bool) error {
+	v := vpn << 1
+	if write {
+		v |= 1
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	if _, err := w.bw.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// ErrBadHeader reports a stream that is not a trace.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, ErrBadHeader
+	}
+	if magic != Magic {
+		return nil, ErrBadHeader
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Record, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: corrupt record: %w", err)
+	}
+	return Record{VPN: v >> 1, Write: v&1 == 1}, nil
+}
+
+// ReadAll drains the reader into memory.
+func ReadAll(r *Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Accesses      uint64
+	Writes        uint64
+	DistinctPages uint64
+	MinVPN        uint64
+	MaxVPN        uint64
+	// Top holds the hottest pages in descending access order.
+	Top []PageCount
+}
+
+// PageCount pairs a page with its access count.
+type PageCount struct {
+	VPN   uint64
+	Count uint64
+}
+
+// FootprintBytes returns the distinct-page footprint.
+func (s Stats) FootprintBytes() uint64 { return s.DistinctPages * 4096 }
+
+// Analyze computes summary statistics with the hottest topN pages.
+func Analyze(recs []Record, topN int) Stats {
+	s := Stats{MinVPN: ^uint64(0)}
+	counts := make(map[uint64]uint64)
+	for _, r := range recs {
+		s.Accesses++
+		if r.Write {
+			s.Writes++
+		}
+		counts[r.VPN]++
+		if r.VPN < s.MinVPN {
+			s.MinVPN = r.VPN
+		}
+		if r.VPN > s.MaxVPN {
+			s.MaxVPN = r.VPN
+		}
+	}
+	s.DistinctPages = uint64(len(counts))
+	if s.Accesses == 0 {
+		s.MinVPN = 0
+	}
+	if topN > 0 {
+		s.Top = make([]PageCount, 0, len(counts))
+		for p, c := range counts {
+			s.Top = append(s.Top, PageCount{p, c})
+		}
+		sort.Slice(s.Top, func(i, j int) bool {
+			if s.Top[i].Count != s.Top[j].Count {
+				return s.Top[i].Count > s.Top[j].Count
+			}
+			return s.Top[i].VPN < s.Top[j].VPN
+		})
+		if len(s.Top) > topN {
+			s.Top = s.Top[:topN]
+		}
+	}
+	return s
+}
+
+// Heatmap buckets a trace into a (time x space) access-count grid — the
+// raw material of the paper's Figure 1 heat maps. Time is measured in
+// access index (the trace carries no clock).
+func Heatmap(recs []Record, timeBuckets, spaceBuckets int) [][]uint64 {
+	if timeBuckets < 1 || spaceBuckets < 1 || len(recs) == 0 {
+		return nil
+	}
+	st := Analyze(recs, 0)
+	span := st.MaxVPN - st.MinVPN + 1
+	grid := make([][]uint64, timeBuckets)
+	for i := range grid {
+		grid[i] = make([]uint64, spaceBuckets)
+	}
+	for i, r := range recs {
+		tb := i * timeBuckets / len(recs)
+		sb := int((r.VPN - st.MinVPN) * uint64(spaceBuckets) / span)
+		if sb >= spaceBuckets {
+			sb = spaceBuckets - 1
+		}
+		grid[tb][sb]++
+	}
+	return grid
+}
+
+// ReuseHistogram buckets the time (in accesses) between successive
+// accesses to the same page into power-of-two bins; bin b counts reuse
+// intervals in [2^b, 2^(b+1)). Cold first touches are not counted.
+func ReuseHistogram(recs []Record, bins int) []uint64 {
+	if bins < 1 {
+		return nil
+	}
+	hist := make([]uint64, bins)
+	last := make(map[uint64]int, 1024)
+	for i, r := range recs {
+		if prev, ok := last[r.VPN]; ok {
+			d := i - prev
+			b := 0
+			for d > 1 && b < bins-1 {
+				d >>= 1
+				b++
+			}
+			hist[b]++
+		}
+		last[r.VPN] = i
+	}
+	return hist
+}

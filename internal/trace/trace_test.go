@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{{0, false}, {1, true}, {1 << 40, false}, {12345, true}}
+	for _, r := range want {
+		if err := w.Add(r.VPN, r.Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(want)) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(vpns []uint32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		var want []Record
+		for _, v := range vpns {
+			rec := Record{uint64(v), rng.Intn(2) == 0}
+			want = append(want, rec)
+			if w.Add(rec.VPN, rec.Write) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := ReadAll(r)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("expected header error")
+	}
+	if _, err := NewReader(bytes.NewReader(append(Magic[:], 99))); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestCorruptRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Add(1, false)
+	w.Flush()
+	// Append a truncated varint (continuation bit set, no next byte).
+	buf.WriteByte(0x80)
+	r, _ := NewReader(&buf)
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record should parse: %v", err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("expected corruption error, got %v", err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	recs := []Record{{10, true}, {10, false}, {20, false}, {30, true}, {10, false}}
+	s := Analyze(recs, 2)
+	if s.Accesses != 5 || s.Writes != 2 || s.DistinctPages != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MinVPN != 10 || s.MaxVPN != 30 {
+		t.Fatalf("range: %+v", s)
+	}
+	if s.FootprintBytes() != 3*4096 {
+		t.Fatal("footprint")
+	}
+	if len(s.Top) != 2 || s.Top[0] != (PageCount{10, 3}) {
+		t.Fatalf("top: %+v", s.Top)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(nil, 5)
+	if s.Accesses != 0 || s.MinVPN != 0 || len(s.Top) != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	// First half of time hits low pages, second half high pages.
+	var recs []Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, Record{uint64(i % 10), false})
+	}
+	for i := 0; i < 100; i++ {
+		recs = append(recs, Record{90 + uint64(i%10), false})
+	}
+	g := Heatmap(recs, 2, 2)
+	if g[0][0] != 100 || g[0][1] != 0 || g[1][0] != 0 || g[1][1] != 100 {
+		t.Fatalf("heatmap: %v", g)
+	}
+	if Heatmap(nil, 2, 2) != nil {
+		t.Fatal("empty heatmap should be nil")
+	}
+}
+
+func TestReuseHistogram(t *testing.T) {
+	// Page 5 accessed every 4 records: reuse distance 4 -> bin 2.
+	var recs []Record
+	for i := 0; i < 40; i++ {
+		if i%4 == 0 {
+			recs = append(recs, Record{5, false})
+		} else {
+			recs = append(recs, Record{uint64(100 + i), false})
+		}
+	}
+	h := ReuseHistogram(recs, 8)
+	if h[2] != 9 {
+		t.Fatalf("bin 2 = %d, want 9 (hist %v)", h[2], h)
+	}
+}
+
+func TestCaptureAndReplay(t *testing.T) {
+	mc := sim.Config{
+		FastBytes: 4 * tier.HugePageSize,
+		CapBytes:  64 * tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      5,
+	}
+	m := sim.NewMachine(mc, nil)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	detach := Capture(m, w)
+	r := m.Reserve(2 * tier.HugePageSize)
+	for i := 0; i < 5000; i++ {
+		m.Access(r.BaseVPN+uint64(i)%r.Pages, i%3 == 0)
+	}
+	detach()
+	m.Access(r.BaseVPN, false) // after detach: not recorded
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5000 {
+		t.Fatalf("captured %d records", w.Count())
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplay("cap", recs)
+	if rep.Records() != 5000 {
+		t.Fatal("replay record count")
+	}
+	m2 := sim.NewMachine(mc, nil)
+	rep.Run(m2, 12_000) // loops the trace 2.4x
+	if m2.Accesses() != 12_000 {
+		t.Fatalf("replayed %d accesses", m2.Accesses())
+	}
+	if m2.AS.RSSBytes() == 0 {
+		t.Fatal("replay mapped nothing")
+	}
+}
+
+func TestReplayOfBenchmarkTraceIsDeterministic(t *testing.T) {
+	// Record a slice of a real workload and replay it under two
+	// machines: identical placement outcomes.
+	w := workload.MustNew("654.roms")
+	spec := w.Spec()
+	mc := sim.Config{
+		FastBytes: spec.RSSBytes() / 9,
+		CapBytes:  spec.RSSBytes() + spec.RSSBytes()/4 + 16*tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      7,
+	}
+	m := sim.NewMachine(mc, nil)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf)
+	Capture(m, tw)
+	w.Run(m, 60_000)
+	tw.Flush()
+
+	rd, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	recs, _ := ReadAll(rd)
+	run := func() sim.Result {
+		mm := sim.NewMachine(mc, nil)
+		rep := NewReplay("roms-slice", recs)
+		rep.Run(mm, 60_000)
+		return mm.Finish("roms-slice")
+	}
+	a, b := run(), run()
+	if a.AppNS != b.AppNS || a.FastHitRatio != b.FastHitRatio {
+		t.Fatal("replay not deterministic")
+	}
+}

@@ -1,0 +1,583 @@
+// Package vm models the virtual-memory side of the simulated machine:
+// address spaces, first-touch demand paging with THP-style huge-page
+// allocation, page access metadata, page migration between tiers, and
+// the huge-page split/collapse operations MEMTIS performs in the
+// background. All operations return their cost in nanoseconds so the
+// simulator can charge them to the application's critical path or to a
+// background daemon, whichever the invoking policy mandates.
+package vm
+
+import (
+	"fmt"
+
+	"memtis/internal/tier"
+)
+
+// Cost model (nanoseconds), from measured Linux costs on recent Xeons.
+//
+// The simulator compresses footprints ~128x but virtual runtime ~3000x
+// (DESIGN.md §4). Costs paid once per page over the whole run (demand
+// faults) are divided by the residual compression factor (~24) so their
+// fractional share of runtime stays at paper scale. Migration, split
+// and shootdown costs are deliberately NOT scaled: a migration is an
+// investment repaid by future accesses to the page, and with the access
+// stream compressed the same way, scaling those costs down would make
+// critical-path migration cheaper than a single capacity-tier access
+// and turn fault-driven promotion into a free streaming cache — the
+// opposite of the behaviour the paper measures.
+const (
+	costScale = 24
+
+	BaseFaultNS   = 1_500 / costScale
+	HugeFaultNS   = 8_000 / costScale
+	MigrateBaseNS = 3_000
+	MigrateHugeNS = 250_000
+	ShootdownNS   = 4_000
+	SplitFixedNS  = 12_000
+	CollapseNS    = 270_000
+	ReclaimBaseNS = 800
+)
+
+// PageKind distinguishes huge from base pages.
+type PageKind uint8
+
+const (
+	BasePage PageKind = iota
+	HugePage
+)
+
+// Page is one mapped translation unit: a 4KB base page or a 2MB huge
+// page. The access-metadata fields mirror what MEMTIS packs into the
+// kernel's unused struct page slots (§5); baseline policies use the
+// generic scratch words instead of growing the struct per policy.
+type Page struct {
+	VPN  uint64 // base-page number of the first (or only) subpage
+	Kind PageKind
+	Tier tier.ID
+	// Frame is the first physical frame. A huge page owns 512
+	// contiguous frames; after BreakHuge-based splits the subpages own
+	// their frames individually via the pages created by Split.
+	Frame tier.Frame
+
+	// Count is the page's access counter C_i, halved by cooling so that
+	// it tracks an exponential moving average of access frequency.
+	Count uint64
+	// Bin caches the page-access-histogram bin of the page's hotness
+	// factor H_i so histogram updates are O(1).
+	Bin int
+	// SubCount holds per-subpage access counters for huge pages,
+	// allocated lazily on the first sample. Nil for base pages.
+	SubCount []uint32
+	// touched is a 512-bit bitmap of subpages written at least once;
+	// untouched (all-zero) subpages are freed when the page is split.
+	touched [tier.SubPages / 64]uint64
+	nTouch  uint16
+
+	// Scratch words for policy-private state (recency timestamps,
+	// history vectors, list epochs, ...). Policies must not assume any
+	// value survives a change of ownership of the page.
+	P0, P1 uint64
+	PFlags uint32
+
+	dead bool
+}
+
+// IsHuge reports whether the page is a 2MB huge page.
+func (p *Page) IsHuge() bool { return p.Kind == HugePage }
+
+// Units returns the page size in 4KB units (1 or 512).
+func (p *Page) Units() uint64 {
+	if p.IsHuge() {
+		return tier.SubPages
+	}
+	return 1
+}
+
+// Bytes returns the page size in bytes.
+func (p *Page) Bytes() uint64 { return p.Units() * tier.BasePageSize }
+
+// Hotness returns the hotness factor H_i (§4.1.2): the raw access count
+// for huge pages, and Count * 512 for base pages, compensating for a
+// base page being 512x less likely to be sampled.
+func (p *Page) Hotness() uint64 {
+	if p.IsHuge() {
+		return p.Count
+	}
+	return p.Count * tier.SubPages
+}
+
+// SubHotness returns the hotness factor of subpage j, on the same
+// compensated scale as base pages.
+func (p *Page) SubHotness(j int) uint64 {
+	if p.SubCount == nil {
+		return 0
+	}
+	return uint64(p.SubCount[j]) * tier.SubPages
+}
+
+// Touched reports whether subpage j has ever been written.
+func (p *Page) Touched(j int) bool {
+	return p.touched[j/64]&(1<<uint(j%64)) != 0
+}
+
+// TouchedCount returns how many subpages have ever been written.
+func (p *Page) TouchedCount() int { return int(p.nTouch) }
+
+func (p *Page) markTouched(j int) {
+	w, b := j/64, uint(j%64)
+	if p.touched[w]&(1<<b) == 0 {
+		p.touched[w] |= 1 << b
+		p.nTouch++
+	}
+}
+
+// Placer decides the initial tier of a newly faulted page. Returning
+// NoTier lets the address space use its default (fast tier while free,
+// then capacity).
+type Placer interface {
+	PlaceNew(huge bool, vpn uint64) tier.ID
+}
+
+// Stats aggregates the VM-level event counters.
+type Stats struct {
+	Faults          uint64
+	FaultNS         uint64
+	Migrations4K    uint64
+	MigrationsHuge  uint64
+	MigratedBytes   uint64
+	Promotions      uint64 // migrations into the fast tier (pages)
+	Demotions       uint64 // migrations out of the fast tier (pages)
+	Splits          uint64
+	Collapses       uint64
+	Shootdowns      uint64
+	ReclaimedFrames uint64 // zero subpages freed by splits
+}
+
+// AddressSpace is one process's virtual memory image over a two-tier
+// machine. Virtual addresses are dense base-page numbers handed out by
+// a bump allocator; the page table is a flat slice for O(1) translation.
+type AddressSpace struct {
+	Fast *tier.Tier
+	Cap  *tier.Tier
+
+	table   []*Page
+	hugeOK  []bool // per 2MB block: fully covered by one reservation
+	nextVPN uint64
+	nPages  int // live Page objects
+
+	// THP controls whether 2MB-aligned, >=2MB reservations fault in as
+	// huge pages (Linux THP=always) or everything uses base pages.
+	THP bool
+
+	placer Placer
+
+	// OnUnmap, when set, is invoked for every live page released by
+	// Free so policies can drop the page from their bookkeeping.
+	OnUnmap func(p *Page)
+
+	stats Stats
+}
+
+// NewAddressSpace creates an address space over the two tiers.
+func NewAddressSpace(fast, cap *tier.Tier, thp bool) *AddressSpace {
+	return &AddressSpace{Fast: fast, Cap: cap, THP: thp}
+}
+
+// SetPlacer installs the policy hook for initial page placement.
+func (as *AddressSpace) SetPlacer(p Placer) { as.placer = p }
+
+// Stats returns a snapshot of the VM counters.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// Region is a reserved virtual address range.
+type Region struct {
+	BaseVPN uint64
+	Pages   uint64 // length in base pages
+}
+
+// Bytes returns the region length in bytes.
+func (r Region) Bytes() uint64 { return r.Pages * tier.BasePageSize }
+
+// Reserve allocates a 2MB-aligned virtual range of at least bytes. No
+// physical memory is committed until first touch.
+func (as *AddressSpace) Reserve(bytes uint64) Region {
+	pages := (bytes + tier.BasePageSize - 1) / tier.BasePageSize
+	// Align the base so THP regions can map huge pages.
+	if rem := as.nextVPN % tier.SubPages; rem != 0 {
+		as.nextVPN += tier.SubPages - rem
+	}
+	r := Region{BaseVPN: as.nextVPN, Pages: pages}
+	as.nextVPN += pages
+	need := int(as.nextVPN)
+	if need > len(as.table) {
+		nt := make([]*Page, need+need/2+tier.SubPages)
+		copy(nt, as.table)
+		as.table = nt
+	}
+	if nb := (need + tier.SubPages - 1) / tier.SubPages; nb > len(as.hugeOK) {
+		nh := make([]bool, nb+nb/2+1)
+		copy(nh, as.hugeOK)
+		as.hugeOK = nh
+	}
+	// Only 2MB blocks fully covered by this reservation may fault in
+	// as huge pages (the region base is 2MB-aligned).
+	for b := r.BaseVPN / tier.SubPages; (b+1)*tier.SubPages <= r.BaseVPN+r.Pages; b++ {
+		as.hugeOK[b] = true
+	}
+	return r
+}
+
+// Lookup returns the page mapping vpn, or nil when unmapped.
+func (as *AddressSpace) Lookup(vpn uint64) *Page {
+	if vpn >= uint64(len(as.table)) {
+		return nil
+	}
+	return as.table[vpn]
+}
+
+// tierOf returns the tier object for id.
+func (as *AddressSpace) tierOf(id tier.ID) *tier.Tier {
+	if id == tier.FastTier {
+		return as.Fast
+	}
+	return as.Cap
+}
+
+// TouchResult describes the outcome of one memory access.
+type TouchResult struct {
+	Page    *Page
+	SubIdx  int // subpage index within a huge page (0 for base pages)
+	Tier    tier.ID
+	FaultNS uint64 // demand-paging cost incurred on this access
+	Faulted bool
+}
+
+// hugeEligible reports whether vpn can fault in as a huge page: the
+// whole 2MB-aligned block around it must be reserved and unmapped.
+func (as *AddressSpace) hugeEligible(vpn uint64) bool {
+	base := vpn - vpn%tier.SubPages
+	if base+tier.SubPages > uint64(len(as.table)) || !as.hugeOK[base/tier.SubPages] {
+		return false
+	}
+	for i := base; i < base+tier.SubPages; i++ {
+		if as.table[i] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// placeFor resolves the initial tier for a faulting page, falling back
+// to "fast while free, then capacity", and degrading huge allocations
+// that the chosen tier cannot satisfy.
+func (as *AddressSpace) placeFor(huge bool, vpn uint64) tier.ID {
+	want := tier.NoTier
+	if as.placer != nil {
+		want = as.placer.PlaceNew(huge, vpn)
+	}
+	if want == tier.NoTier {
+		if huge {
+			if as.Fast.HasHugeFrame() {
+				return tier.FastTier
+			}
+			return tier.CapacityTier
+		}
+		if as.Fast.FreeFrames() > 0 {
+			return tier.FastTier
+		}
+		return tier.CapacityTier
+	}
+	return want
+}
+
+// Touch performs one access to vpn: demand-faults the page on first
+// touch (THP maps the surrounding 2MB block as a huge page when
+// eligible) and returns the mapping plus any fault cost. Write touches
+// mark the subpage as non-zero for later bloat reclaim.
+func (as *AddressSpace) Touch(vpn uint64, write bool) TouchResult {
+	if vpn >= as.nextVPN {
+		panic(fmt.Sprintf("vm: touch of unreserved vpn %d", vpn))
+	}
+	pg := as.table[vpn]
+	var res TouchResult
+	if pg == nil {
+		res.Faulted = true
+		as.stats.Faults++
+		if as.THP && as.hugeEligible(vpn) {
+			pg = as.mapHuge(vpn - vpn%tier.SubPages)
+			res.FaultNS = HugeFaultNS
+		} else {
+			pg = as.mapBase(vpn)
+			res.FaultNS = BaseFaultNS
+		}
+		as.stats.FaultNS += res.FaultNS
+	}
+	res.Page = pg
+	res.Tier = pg.Tier
+	if pg.IsHuge() {
+		res.SubIdx = int(vpn - pg.VPN)
+	}
+	if write {
+		if pg.IsHuge() {
+			pg.markTouched(res.SubIdx)
+		} else {
+			pg.markTouched(0)
+		}
+	}
+	return res
+}
+
+func (as *AddressSpace) mapHuge(baseVPN uint64) *Page {
+	id := as.placeFor(true, baseVPN)
+	t := as.tierOf(id)
+	f, err := t.AllocHuge()
+	if err != nil {
+		// Fall back to the other tier, then to base pages.
+		other := tier.CapacityTier
+		if id == tier.CapacityTier {
+			other = tier.FastTier
+		}
+		if f2, err2 := as.tierOf(other).AllocHuge(); err2 == nil {
+			id, f = other, f2
+		} else {
+			return as.mapBase(baseVPN)
+		}
+	}
+	pg := &Page{VPN: baseVPN, Kind: HugePage, Tier: id, Frame: f}
+	for i := uint64(0); i < tier.SubPages; i++ {
+		as.table[baseVPN+i] = pg
+	}
+	as.nPages++
+	return pg
+}
+
+func (as *AddressSpace) mapBase(vpn uint64) *Page {
+	id := as.placeFor(false, vpn)
+	t := as.tierOf(id)
+	f, err := t.AllocBase()
+	if err != nil {
+		other := tier.CapacityTier
+		if id == tier.CapacityTier {
+			other = tier.FastTier
+		}
+		f, err = as.tierOf(other).AllocBase()
+		if err != nil {
+			panic("vm: both tiers out of memory")
+		}
+		id = other
+	}
+	pg := &Page{VPN: vpn, Kind: BasePage, Tier: id, Frame: f}
+	as.table[vpn] = pg
+	as.nPages++
+	return pg
+}
+
+// CanMigrate reports whether dst currently has room for the page.
+func (as *AddressSpace) CanMigrate(p *Page, dst tier.ID) bool {
+	if p.Tier == dst || p.dead {
+		return false
+	}
+	t := as.tierOf(dst)
+	if p.IsHuge() {
+		return t.HasHugeFrame()
+	}
+	return t.FreeFrames() > 0
+}
+
+// Migrate moves the page to dst and returns the cost in nanoseconds.
+// ok is false when dst has no room (the page stays put).
+func (as *AddressSpace) Migrate(p *Page, dst tier.ID) (ns uint64, ok bool) {
+	if p.dead || p.Tier == dst {
+		return 0, false
+	}
+	src := as.tierOf(p.Tier)
+	dt := as.tierOf(dst)
+	if p.IsHuge() {
+		nf, err := dt.AllocHuge()
+		if err != nil {
+			return 0, false
+		}
+		src.FreeHuge(p.Frame)
+		p.Frame = nf
+		ns = MigrateHugeNS + ShootdownNS
+		as.stats.MigrationsHuge++
+	} else {
+		nf, err := dt.AllocBase()
+		if err != nil {
+			return 0, false
+		}
+		src.FreeBase(p.Frame)
+		p.Frame = nf
+		ns = MigrateBaseNS + ShootdownNS
+		as.stats.Migrations4K++
+	}
+	if dst == tier.FastTier {
+		as.stats.Promotions += p.Units()
+	} else {
+		as.stats.Demotions += p.Units()
+	}
+	as.stats.Shootdowns++
+	as.stats.MigratedBytes += p.Bytes()
+	p.Tier = dst
+	return ns, true
+}
+
+// SubDest selects the destination tier for subpage j of a huge page
+// being split. Returning NoTier keeps the subpage in the source tier.
+type SubDest func(j int) tier.ID
+
+// Split breaks a huge page into base pages (§4.3.3). Never-written
+// subpages are unmapped and freed to reclaim bloat. dest picks the tier
+// of each surviving subpage; subpages staying in the source tier keep
+// their physical frames (no copy). Returns the new base pages and the
+// total cost. Per-subpage access counts carry over; the huge page's own
+// counter is distributed by subpage share so the histogram stays
+// consistent under the caller's re-accounting.
+func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
+	if !p.IsHuge() || p.dead {
+		panic("vm: split of non-huge or dead page")
+	}
+	src := as.tierOf(p.Tier)
+	src.BreakHuge(p.Frame)
+	ns = SplitFixedNS + ShootdownNS
+	as.stats.Splits++
+	as.stats.Shootdowns++
+	subs = make([]*Page, 0, tier.SubPages)
+	for j := 0; j < tier.SubPages; j++ {
+		vpn := p.VPN + uint64(j)
+		if !p.Touched(j) {
+			// All-zero subpage: unmap and free (memory bloat reclaim).
+			src.FreeBase(p.Frame + tier.Frame(j))
+			as.table[vpn] = nil
+			as.stats.ReclaimedFrames++
+			ns += ReclaimBaseNS
+			continue
+		}
+		var cnt uint64
+		if p.SubCount != nil {
+			cnt = uint64(p.SubCount[j])
+		}
+		np := &Page{VPN: vpn, Kind: BasePage, Tier: p.Tier, Frame: p.Frame + tier.Frame(j), Count: cnt}
+		np.markTouched(0)
+		as.table[vpn] = np
+		as.nPages++
+		subs = append(subs, np)
+		if d := dest(j); d != tier.NoTier && d != np.Tier {
+			if mns, ok := as.Migrate(np, d); ok {
+				ns += mns
+			}
+		}
+	}
+	p.dead = true
+	as.nPages--
+	return subs, ns
+}
+
+// Collapse coalesces 512 contiguous base pages back into one huge page
+// in tier dst. All 512 VPNs starting at baseVPN must be mapped by base
+// pages. Returns the new huge page and the cost; ok is false when dst
+// cannot provide a huge frame or the range is not collapsible.
+func (as *AddressSpace) Collapse(baseVPN uint64, dst tier.ID) (hp *Page, ns uint64, ok bool) {
+	if baseVPN%tier.SubPages != 0 {
+		return nil, 0, false
+	}
+	var olds [tier.SubPages]*Page
+	for j := 0; j < tier.SubPages; j++ {
+		pg := as.Lookup(baseVPN + uint64(j))
+		if pg == nil || pg.IsHuge() {
+			return nil, 0, false
+		}
+		olds[j] = pg
+	}
+	t := as.tierOf(dst)
+	nf, err := t.AllocHuge()
+	if err != nil {
+		return nil, 0, false
+	}
+	hp = &Page{VPN: baseVPN, Kind: HugePage, Tier: dst, Frame: nf}
+	hp.SubCount = make([]uint32, tier.SubPages)
+	for j := 0; j < tier.SubPages; j++ {
+		old := olds[j]
+		hp.SubCount[j] = uint32(old.Count)
+		hp.Count += old.Count
+		hp.markTouched(j)
+		as.tierOf(old.Tier).FreeBase(old.Frame)
+		old.dead = true
+		as.table[baseVPN+uint64(j)] = hp
+		as.nPages--
+	}
+	as.nPages++
+	as.stats.Collapses++
+	as.stats.Shootdowns++
+	return hp, CollapseNS + ShootdownNS, true
+}
+
+// Free unmaps every mapped page of the region, returning frames to
+// their tiers. Used by workloads with short-lived allocations.
+func (as *AddressSpace) Free(r Region) {
+	for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
+		pg := as.table[vpn]
+		if pg == nil || pg.dead {
+			as.table[vpn] = nil
+			continue
+		}
+		if as.OnUnmap != nil {
+			as.OnUnmap(pg)
+		}
+		t := as.tierOf(pg.Tier)
+		if pg.IsHuge() {
+			t.FreeHuge(pg.Frame)
+			for i := uint64(0); i < tier.SubPages; i++ {
+				as.table[pg.VPN+i] = nil
+			}
+			vpn = pg.VPN + tier.SubPages - 1
+		} else {
+			t.FreeBase(pg.Frame)
+			as.table[vpn] = nil
+		}
+		pg.dead = true
+		as.nPages--
+	}
+}
+
+// Dead reports whether the page has been split, collapsed or freed.
+func (p *Page) Dead() bool { return p.dead }
+
+// RSSFrames returns the resident set size in 4KB frames.
+func (as *AddressSpace) RSSFrames() uint64 {
+	return as.Fast.UsedFrames() + as.Cap.UsedFrames()
+}
+
+// RSSBytes returns the resident set size in bytes.
+func (as *AddressSpace) RSSBytes() uint64 { return as.RSSFrames() * tier.BasePageSize }
+
+// LivePages returns the number of live Page objects (huge counts as 1).
+func (as *AddressSpace) LivePages() int { return as.nPages }
+
+// ForEachPage invokes fn for every live page exactly once. The callback
+// must not unmap pages; it may migrate, split or update metadata of the
+// visited page (split replaces the visited page, which is safe because
+// iteration works over a snapshot of distinct pages).
+func (as *AddressSpace) ForEachPage(fn func(p *Page)) {
+	snap := make([]*Page, 0, as.nPages)
+	var last *Page
+	for _, pg := range as.table {
+		if pg != nil && pg != last && !pg.dead {
+			snap = append(snap, pg)
+			last = pg
+		}
+	}
+	for _, pg := range snap {
+		if !pg.dead {
+			fn(pg)
+		}
+	}
+}
+
+// EnsureSubCount lazily allocates the per-subpage counters of a huge
+// page (done on first PEBS sample touching it).
+func (p *Page) EnsureSubCount() {
+	if p.IsHuge() && p.SubCount == nil {
+		p.SubCount = make([]uint32, tier.SubPages)
+	}
+}

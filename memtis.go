@@ -1,0 +1,139 @@
+// Package memtis is a user-space reproduction of MEMTIS (SOSP 2023):
+// efficient memory tiering with dynamic page classification and page
+// size determination.
+//
+// The library simulates a two-tier memory machine (DRAM + NVM/CXL) with
+// demand paging, transparent huge pages, a TLB model and PEBS-style
+// access sampling, and runs tiering policies — MEMTIS itself plus the
+// six state-of-the-art systems the paper evaluates against — over
+// workload models of the paper's eight benchmarks.
+//
+// Quick start:
+//
+//	res := memtis.Run(memtis.MachineConfig{
+//		FastBytes: 64 << 20,
+//		CapBytes:  512 << 20,
+//		CapKind:   memtis.NVM,
+//		THP:       true,
+//	}, memtis.NewMEMTIS(), memtis.MustWorkload("silo"), 2_000_000)
+//	fmt.Printf("fast-tier hit ratio: %.1f%%\n", res.FastHitRatio*100)
+//
+// See cmd/memtis-sim for a CLI, cmd/paperfigs for regenerating every
+// table and figure of the paper, and DESIGN.md for the simulation
+// methodology and its scaling rules.
+package memtis
+
+import (
+	memtiscore "memtis/internal/core"
+	"memtis/internal/pebs"
+	"memtis/internal/policy"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/workload"
+)
+
+// Core machine types, re-exported from the simulator.
+type (
+	// MachineConfig describes the simulated two-tier host.
+	MachineConfig = sim.Config
+	// Machine is a simulated host executing one workload under one
+	// tiering policy.
+	Machine = sim.Machine
+	// Result summarises a run.
+	Result = sim.Result
+	// SeriesPoint is one time-series sample of a run.
+	SeriesPoint = sim.SeriesPoint
+	// Policy is a tiering system driving page placement on a Machine.
+	Policy = sim.Policy
+	// Workload drives a Machine with a memory access stream.
+	Workload = sim.Workload
+	// MEMTISConfig tunes the MEMTIS policy (zero values take scaled
+	// paper defaults).
+	MEMTISConfig = memtiscore.Config
+	// SamplerConfig tunes the PEBS-style sampling engine.
+	SamplerConfig = pebs.Config
+	// WorkloadSpec is one scaled Table 2 benchmark description.
+	WorkloadSpec = workload.Spec
+)
+
+// Capacity-tier memory technologies.
+const (
+	DRAM = tier.DRAM
+	NVM  = tier.NVM
+	CXL  = tier.CXL
+)
+
+// NewMachine builds a machine running under the given policy (nil for
+// plain fast-first placement without migration).
+func NewMachine(cfg MachineConfig, pol Policy) *Machine { return sim.NewMachine(cfg, pol) }
+
+// Run executes a workload for the given number of accesses on a fresh
+// machine and returns the result.
+func Run(cfg MachineConfig, pol Policy, w Workload, accesses uint64) Result {
+	return sim.Run(cfg, pol, w, accesses)
+}
+
+// NewMEMTIS creates the MEMTIS policy with paper defaults.
+func NewMEMTIS() Policy { return memtiscore.New(memtiscore.Config{}) }
+
+// NewMEMTISWith creates the MEMTIS policy with explicit configuration
+// (ablations: SplitDisabled, WarmDisabled; intervals; sampler tuning).
+func NewMEMTISWith(cfg MEMTISConfig) *memtiscore.Policy { return memtiscore.New(cfg) }
+
+// Baseline policy constructors (§6.1 comparison targets).
+var (
+	NewAutoNUMA    = policy.NewAutoNUMA
+	NewAutoTiering = policy.NewAutoTiering
+	NewTiering08   = policy.NewTiering08
+	NewTPP         = policy.NewTPP
+	NewNimble      = policy.NewNimble
+	NewMultiClock  = policy.NewMultiClock
+	NewHeMem       = policy.NewHeMem
+	NewStatic      = policy.NewStatic
+)
+
+// Workloads returns the paper's Table 2 benchmark specifications.
+func Workloads() []WorkloadSpec { return workload.Specs() }
+
+// MachineFor sizes a machine for one of the paper's benchmarks: the
+// fast tier holds fastFrac of the workload's resident set (e.g. 1/9 for
+// the paper's 1:8 configuration) and the capacity tier holds the full
+// set with head-room. The capacity tier must always cover the resident
+// set — the simulator treats true out-of-memory as fatal, as a kernel
+// would.
+func MachineFor(spec WorkloadSpec, fastFrac float64, capKind tier.Kind) MachineConfig {
+	rss := spec.RSSBytes()
+	fast := uint64(float64(rss) * fastFrac)
+	if fast < 2*tier.HugePageSize {
+		fast = 2 * tier.HugePageSize
+	}
+	return MachineConfig{
+		FastBytes: fast,
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		CapKind:   capKind,
+		THP:       true,
+	}
+}
+
+// NewWorkload builds the named benchmark model (see Workloads).
+func NewWorkload(name string) (Workload, error) { return workload.New(name) }
+
+// Synthetic workload construction: compose regions and access-mix
+// phases (zipf/uniform/sequential, optionally scrambled) into a custom
+// workload — the escape hatch for studies beyond the paper's benchmarks.
+type (
+	// SyntheticSpec defines a user workload: regions plus access mix.
+	SyntheticSpec = workload.SyntheticSpec
+	// SyntheticRegion is one region of a synthetic workload.
+	SyntheticRegion = workload.SyntheticRegion
+	// SyntheticPhase is one access-mix component.
+	SyntheticPhase = workload.SyntheticPhase
+)
+
+// NewSynthetic validates and builds a user-defined workload.
+func NewSynthetic(spec SyntheticSpec) (*workload.Synthetic, error) {
+	return workload.NewSynthetic(spec)
+}
+
+// MustWorkload is NewWorkload but panics on unknown names.
+func MustWorkload(name string) Workload { return workload.MustNew(name) }

@@ -1,0 +1,73 @@
+package memtis_test
+
+import (
+	"testing"
+
+	"memtis"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	spec := memtis.Workloads()[4] // silo
+	cfg := memtis.MachineFor(spec, 1.0/9, memtis.NVM)
+	cfg.Seed = 1
+	res := memtis.Run(cfg, memtis.NewMEMTIS(), memtis.MustWorkload("silo"), 300_000)
+	if res.Accesses != 300_000 {
+		t.Fatalf("accesses = %d", res.Accesses)
+	}
+	if res.FastHitRatio <= 0 || res.Throughput <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Policy != "memtis" || res.Workload != "silo" {
+		t.Fatal("labels")
+	}
+}
+
+func TestPublicPolicyConstructors(t *testing.T) {
+	pols := []memtis.Policy{
+		memtis.NewMEMTIS(),
+		memtis.NewMEMTISWith(memtis.MEMTISConfig{SplitDisabled: true}),
+		memtis.NewAutoNUMA(),
+		memtis.NewAutoTiering(),
+		memtis.NewTiering08(),
+		memtis.NewTPP(),
+		memtis.NewNimble(),
+		memtis.NewHeMem(),
+		memtis.NewStatic(),
+	}
+	for _, p := range pols {
+		if p.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+	}
+}
+
+func TestPublicWorkloadRegistry(t *testing.T) {
+	if len(memtis.Workloads()) != 8 {
+		t.Fatal("expected the paper's 8 benchmarks")
+	}
+	if _, err := memtis.NewWorkload("654.roms"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memtis.NewWorkload("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPublicCustomWorkload(t *testing.T) {
+	// Users can drive the machine directly with their own access
+	// streams via NewMachine.
+	m := memtis.NewMachine(memtis.MachineConfig{
+		FastBytes: 8 << 20,
+		CapBytes:  64 << 20,
+		CapKind:   memtis.CXL,
+		THP:       true,
+	}, memtis.NewMEMTIS())
+	r := m.Reserve(16 << 20)
+	for i := 0; i < 100_000; i++ {
+		m.Access(r.BaseVPN+uint64(i)%r.Pages, i%4 == 0)
+	}
+	res := m.Finish("custom")
+	if res.Accesses != 100_000 || res.RSSFinal == 0 {
+		t.Fatalf("custom run: %+v", res)
+	}
+}
