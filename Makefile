@@ -1,0 +1,47 @@
+# CI / developer entry points. `make check` is the tier-1 gate;
+# `make race` is the short-budget race smoke over the concurrency
+# surface (parallel experiment runner, per-machine independence audit,
+# codec and sampler tests).
+
+GO ?= go
+
+.PHONY: check fmt vet build test race fuzz bench figures clean
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race smoke: the parallel-runner determinism regression, the
+# per-machine shared-state audit, and the codec/dist suites, all under
+# -race with CI-sized budgets.
+race:
+	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing' ./internal/bench ./internal/sim
+	$(GO) test -race ./internal/trace ./internal/dist
+
+# Replayed continuously by `go test`; this explores beyond the seed
+# corpus for a bounded time per target.
+fuzz:
+	$(GO) test -fuzz=FuzzReaderNext -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/trace
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+figures:
+	$(GO) run ./cmd/paperfigs -accesses 4000000 -out results
+
+clean:
+	rm -rf results

@@ -11,6 +11,7 @@
 package memtis_test
 
 import (
+	"context"
 	"testing"
 
 	"memtis/internal/bench"
@@ -126,6 +127,25 @@ func BenchmarkFig5_Main(b *testing.B) {
 		reportMatrix(b, m, []string{"1:2", "1:8", "1:16"})
 	}
 }
+
+// The runner pair below measures the harness itself: the same Figure 5
+// matrix at 1 worker vs 8. Their outputs are cell-for-cell identical
+// by construction (per-cell seed derivation; see the determinism tests
+// in internal/bench), so the ns/op ratio is the pure wall-clock
+// speedup of the fan-out on this host.
+func benchmarkFig5Runner(b *testing.B, workers int) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		m, _, err := bench.Parallel(workers).Fig5(context.Background(), cfg, nil, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMatrix(b, m, []string{"1:2", "1:8", "1:16"})
+	}
+}
+
+func BenchmarkFig5_RunnerSequential(b *testing.B) { benchmarkFig5Runner(b, 1) }
+func BenchmarkFig5_RunnerParallel8(b *testing.B)  { benchmarkFig5Runner(b, 8) }
 
 func BenchmarkFig6_Scalability(b *testing.B) {
 	cfg := benchCfg()

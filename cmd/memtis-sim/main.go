@@ -1,16 +1,24 @@
 // Command memtis-sim runs one benchmark under one tiering policy on the
-// simulated two-tier machine and prints the run's metrics.
+// simulated two-tier machine and prints the run's metrics. Passing
+// comma-separated lists (or "all") for -workload, -policy or -ratio
+// switches to matrix mode: every combination fans out to the parallel
+// experiment runner with deterministic per-cell seeds and the
+// normalized result table is printed.
 //
 // Usage:
 //
 //	memtis-sim -workload silo -policy memtis -ratio 1:8 -accesses 2000000
+//	memtis-sim -workload silo,btree -policy tpp,memtis -ratio 1:2,1:8 -parallel 8
+//	memtis-sim -workload all -policy memtis,hemem -ratio 1:8
 //	memtis-sim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"memtis/internal/bench"
@@ -21,13 +29,14 @@ import (
 
 func main() {
 	var (
-		wname    = flag.String("workload", "silo", "benchmark name (see -list)")
-		pname    = flag.String("policy", "memtis", "tiering policy (see -list)")
-		ratio    = flag.String("ratio", "1:8", "fast:capacity ratio (1:2, 1:8, 1:16, 2:1)")
+		wname    = flag.String("workload", "silo", "benchmark name, comma-separated list, or \"all\" (see -list)")
+		pname    = flag.String("policy", "memtis", "tiering policy or comma-separated list (see -list)")
+		ratio    = flag.String("ratio", "1:8", "fast:capacity ratio or comma-separated list (1:2, 1:8, 1:16, 2:1)")
 		accesses = flag.Uint64("accesses", 2_000_000, "access budget")
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		capKind  = flag.String("cap", "nvm", "capacity tier kind: nvm or cxl")
 		threads  = flag.Int("threads", 0, "application threads (0 = all cores)")
+		parallel = flag.Int("parallel", 0, "matrix-mode worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		list     = flag.Bool("list", false, "list workloads and policies, then exit")
 		baseline = flag.Bool("baseline", false, "also run the all-capacity baseline and report normalized performance")
 		series   = flag.String("series", "", "write a time-series CSV (hot/warm/cold, RSS, hit ratio) to this path")
@@ -60,20 +69,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	var r bench.Ratio
-	switch *ratio {
-	case "1:2":
-		r = bench.Ratio1to2
-	case "1:8":
-		r = bench.Ratio1to8
-	case "1:16":
-		r = bench.Ratio1to16
-	case "2:1":
-		r = bench.Ratio2to1
-	default:
-		fmt.Fprintf(os.Stderr, "unknown ratio %q\n", *ratio)
-		os.Exit(2)
+	if strings.Contains(*wname, ",") || *wname == "all" ||
+		strings.Contains(*pname, ",") || strings.Contains(*ratio, ",") {
+		runMatrix(cfg, *wname, *pname, *ratio, *parallel)
+		return
 	}
+
+	r := parseRatio(*ratio)
 
 	if *series != "" {
 		cfg.RecordNS = 300_000
@@ -106,6 +108,88 @@ func main() {
 		b := bench.RunBaseline(*wname, cfg)
 		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)
 	}
+}
+
+// parseRatio resolves one ratio name or exits with a usage error.
+func parseRatio(name string) bench.Ratio {
+	switch name {
+	case "1:2":
+		return bench.Ratio1to2
+	case "1:8":
+		return bench.Ratio1to8
+	case "1:16":
+		return bench.Ratio1to16
+	case "2:1":
+		return bench.Ratio2to1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ratio %q\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+// runMatrix is the comma-list mode: every (workload, ratio, policy)
+// combination runs on the parallel experiment runner with per-cell
+// derived seeds, and the normalized table is printed.
+func runMatrix(cfg bench.Config, wlist, plist, rlist string, workers int) {
+	split := func(s string) []string {
+		var out []string
+		for _, f := range strings.Split(s, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	workloads := split(wlist)
+	if wlist == "all" {
+		workloads = nil
+		for _, s := range workload.Specs() {
+			workloads = append(workloads, s.Name)
+		}
+	}
+	var ratios []bench.Ratio
+	for _, rn := range split(rlist) {
+		ratios = append(ratios, parseRatio(rn))
+	}
+	pols := split(plist)
+
+	// Validate names up front so a typo is a usage error, not a panic
+	// somewhere inside the worker pool.
+	known := map[string]bool{}
+	for _, s := range workload.Specs() {
+		known[s.Name] = true
+	}
+	for _, w := range workloads {
+		if !known[w] {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (see -list)\n", w)
+			os.Exit(2)
+		}
+	}
+	for _, p := range pols {
+		if !bench.KnownPolicy(p) {
+			fmt.Fprintf(os.Stderr, "unknown policy %q (see -list)\n", p)
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := bench.Parallel(workers)
+	runner.Progress = func(p bench.Progress) {
+		fmt.Fprintf(os.Stderr, "\r\033[K%d/%d cells  %.2fs virtual  %s", p.Done, p.Total, float64(p.VirtualNS)/1e9, p.Cell)
+		if p.Done == p.Total {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+	}
+	m, err := runner.RunMatrix(ctx, cfg, workloads, ratios, pols)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "\nmemtis-sim:", err)
+		os.Exit(1)
+	}
+	title := fmt.Sprintf("normalized performance (capacity tier: %s, seed %d, %d accesses/cell)",
+		cfg.CapKind, cfg.Seed, cfg.Accesses)
+	fmt.Print(bench.MatrixTable(title, m, workloads, ratios, pols).String())
 }
 
 func mb(b uint64) float64 { return float64(b) / (1 << 20) }

@@ -2,17 +2,27 @@
 // evaluation section (see DESIGN.md §3 for the experiment index) and
 // writes both aligned-text and CSV outputs into a results directory.
 //
+// The matrix-shaped experiments (fig5, fig6, fig7, fig8, fig14) fan
+// their cells out to a worker pool with deterministic per-cell seeds
+// (DESIGN.md §4 "Reproducibility & parallelism"): -parallel changes
+// wall-clock time only, never a single output byte.
+//
 // Usage:
 //
 //	paperfigs                 # everything (several minutes)
 //	paperfigs -only fig5,fig12
 //	paperfigs -accesses 4000000 -out results
+//	paperfigs -only fig5 -parallel 8
+//	paperfigs -parallel 1     # sequential reference
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -28,12 +38,22 @@ func main() {
 		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead)")
 		accesses = flag.Uint64("accesses", 2_000_000, "access budget per run")
 		seed     = flag.Int64("seed", 42, "RNG seed")
+		parallel = flag.Int("parallel", 0, "worker pool size for matrix experiments (0 = GOMAXPROCS, 1 = sequential)")
+		quiet    = flag.Bool("quiet", false, "suppress the per-cell progress line")
 	)
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.Accesses = *accesses
 	cfg.Seed = *seed
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := bench.Parallel(*parallel)
+	if !*quiet {
+		runner.Progress = progressLine
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -49,19 +69,22 @@ func main() {
 
 	type job struct {
 		name string
-		run  func() bench.Table
+		run  func() (bench.Table, error)
+	}
+	seqTable := func(f func() bench.Table) func() (bench.Table, error) {
+		return func() (bench.Table, error) { return f(), nil }
 	}
 	jobs := []job{
-		{"table1", func() bench.Table { return bench.Table1() }},
-		{"fig1", func() bench.Table { _, t := bench.Fig1(cfg); return t }},
-		{"fig2", func() bench.Table {
+		{"table1", seqTable(func() bench.Table { return bench.Table1() })},
+		{"fig1", seqTable(func() bench.Table { _, t := bench.Fig1(cfg); return t })},
+		{"fig2", seqTable(func() bench.Table {
 			series, t := bench.Fig2(cfg)
 			for _, s := range series {
 				writeSeries(*out, fmt.Sprintf("fig2_%s.csv", s.Workload), s.Points, s.FastBytes)
 			}
 			return t
-		}},
-		{"fig3", func() bench.Table {
+		})},
+		{"fig3", seqTable(func() bench.Table {
 			data, t := bench.Fig3(cfg)
 			for wname, samples := range data {
 				var b strings.Builder
@@ -72,18 +95,21 @@ func main() {
 				mustWrite(filepath.Join(*out, fmt.Sprintf("fig3_%s.csv", wname)), b.String())
 			}
 			return t
-		}},
-		{"table2", func() bench.Table { return bench.Table2(cfg) }},
-		{"table3", func() bench.Table { _, t := bench.Table3(cfg); return t }},
-		{"fig5", func() bench.Table {
-			m, t := bench.Fig5(cfg, nil, nil, nil)
+		})},
+		{"table2", seqTable(func() bench.Table { return bench.Table2(cfg) })},
+		{"table3", seqTable(func() bench.Table { _, t := bench.Table3(cfg); return t })},
+		{"fig5", func() (bench.Table, error) {
+			m, t, err := runner.Fig5(ctx, cfg, nil, nil, nil)
+			if err != nil {
+				return bench.Table{}, err
+			}
 			mustWrite(filepath.Join(*out, "fig5.plot.txt"), fig5Plot(m))
-			return t
+			return t, nil
 		}},
-		{"fig6", func() bench.Table { _, t := bench.Fig6(cfg, nil); return t }},
-		{"fig7", func() bench.Table { _, t := bench.Fig7(cfg); return t }},
-		{"fig8", func() bench.Table { _, t := bench.Fig8(cfg); return t }},
-		{"fig9", func() bench.Table {
+		{"fig6", func() (bench.Table, error) { _, t, err := runner.Fig6(ctx, cfg, nil); return t, err }},
+		{"fig7", func() (bench.Table, error) { _, t, err := runner.Fig7(ctx, cfg); return t, err }},
+		{"fig8", func() (bench.Table, error) { _, t, err := runner.Fig8(ctx, cfg); return t, err }},
+		{"fig9", seqTable(func() bench.Table {
 			series, t := bench.Fig9(cfg)
 			var plots strings.Builder
 			for _, s := range series {
@@ -94,9 +120,9 @@ func main() {
 			}
 			mustWrite(filepath.Join(*out, "fig9.plot.txt"), plots.String())
 			return t
-		}},
-		{"fig10", func() bench.Table { _, t := bench.Fig10(cfg); return t }},
-		{"fig11", func() bench.Table {
+		})},
+		{"fig10", seqTable(func() bench.Table { _, t := bench.Fig10(cfg); return t })},
+		{"fig11", seqTable(func() bench.Table {
 			series, t := bench.Fig11(cfg)
 			var plots strings.Builder
 			byWorkload := map[string][]render.Series{}
@@ -122,11 +148,11 @@ func main() {
 			}
 			mustWrite(filepath.Join(*out, "fig11.plot.txt"), plots.String())
 			return t
-		}},
-		{"fig12", func() bench.Table { _, t := bench.Fig12(cfg); return t }},
-		{"fig13", func() bench.Table { _, t := bench.Fig13(cfg); return t }},
-		{"fig14", func() bench.Table { _, t := bench.Fig14(cfg); return t }},
-		{"overhead", func() bench.Table { _, t := bench.Overhead(cfg); return t }},
+		})},
+		{"fig12", seqTable(func() bench.Table { _, t := bench.Fig12(cfg); return t })},
+		{"fig13", seqTable(func() bench.Table { _, t := bench.Fig13(cfg); return t })},
+		{"fig14", func() (bench.Table, error) { _, t, err := runner.Fig14(ctx, cfg); return t, err }},
+		{"overhead", seqTable(func() bench.Table { _, t := bench.Overhead(cfg); return t })},
 	}
 
 	var summary strings.Builder
@@ -134,8 +160,18 @@ func main() {
 		if !sel(j.name) {
 			continue
 		}
+		if ctx.Err() != nil {
+			break
+		}
 		start := time.Now()
-		t := j.run()
+		t, err := j.run()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "\n%s interrupted\n", j.name)
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%-9s done in %v\n", j.name, time.Since(start).Round(time.Millisecond))
 		mustWrite(filepath.Join(*out, j.name+".txt"), t.String())
 		mustWrite(filepath.Join(*out, j.name+".csv"), t.CSV())
@@ -144,6 +180,18 @@ func main() {
 	}
 	mustWrite(filepath.Join(*out, "summary.txt"), summary.String())
 	fmt.Printf("results written to %s/\n", *out)
+	if ctx.Err() != nil {
+		os.Exit(130) // interrupted: partial results on disk
+	}
+}
+
+// progressLine redraws one stderr status line per finished cell:
+// cells done / total plus the cumulative virtual time simulated.
+func progressLine(p bench.Progress) {
+	fmt.Fprintf(os.Stderr, "\r\033[K  %d/%d cells  %.2fs virtual  %s", p.Done, p.Total, float64(p.VirtualNS)/1e9, p.Cell)
+	if p.Done == p.Total {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
 }
 
 // fig5Plot renders the headline comparison as grouped text bars.

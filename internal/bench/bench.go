@@ -90,6 +90,20 @@ func NewPolicy(name string) sim.Policy {
 	}
 }
 
+// KnownPolicy reports whether NewPolicy accepts name, so callers can
+// validate user input before fanning out instead of panicking
+// mid-matrix.
+func KnownPolicy(name string) bool {
+	switch name {
+	case "autonuma", "autotiering", "tiering-0.8", "tpp", "nimble",
+		"multi-clock", "hemem", "hemem+", "memtis", "memtis-ns",
+		"memtis-nowarm", "memtis-vanilla", "memtis-hybrid", "static",
+		"all-fast", "all-capacity":
+		return true
+	}
+	return false
+}
+
 // MachineFor builds the machine configuration for a workload at a
 // tiering ratio. The capacity tier always holds the full resident set
 // plus head-room — as in the paper's testbed, only the fast tier is the

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	memtis "memtis/internal/core"
@@ -11,7 +12,15 @@ import (
 
 // Fig5 runs the headline comparison: every workload x ratio x system,
 // normalised to the all-capacity-tier (THP) run, plus the geomean row.
+// Sequential convenience wrapper over Runner.Fig5.
 func Fig5(cfg Config, workloads []string, ratios []Ratio, pols []string) (*Matrix, Table) {
+	m, t, _ := Sequential().Fig5(context.Background(), cfg, workloads, ratios, pols)
+	return m, t
+}
+
+// Fig5 is the headline comparison run through the worker pool: the full
+// cell matrix plus baselines fan out; rows assemble in plot order.
+func (r *Runner) Fig5(ctx context.Context, cfg Config, workloads []string, ratios []Ratio, pols []string) (*Matrix, Table, error) {
 	if workloads == nil {
 		workloads = workloadNames()
 	}
@@ -21,57 +30,31 @@ func Fig5(cfg Config, workloads []string, ratios []Ratio, pols []string) (*Matri
 	if pols == nil {
 		pols = Policies
 	}
-	m := &Matrix{}
-	t := Table{
-		Title:  fmt.Sprintf("Figure 5: normalized performance (capacity tier: %s)", cfg.CapKind),
-		Header: append([]string{"workload", "ratio"}, pols...),
+	m, err := r.RunMatrix(ctx, cfg, workloads, ratios, pols)
+	if err != nil {
+		return nil, Table{}, err
 	}
-	for _, wname := range workloads {
-		base := RunBaseline(wname, cfg)
-		for _, r := range ratios {
-			row := []interface{}{wname, r.Name}
-			for _, p := range pols {
-				res := RunOne(wname, p, r, cfg)
-				v := Norm(res, base)
-				m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: r.Name, Policy: p, Value: v, Result: res})
-				row = append(row, v)
-			}
-			t.AddRow(row...)
-		}
-	}
-	// Geomean rows per ratio.
-	for _, r := range ratios {
-		row := []interface{}{"geomean", r.Name}
-		for _, p := range pols {
-			var vals []float64
-			for _, wname := range workloads {
-				if v, ok := m.Get(wname, r.Name, p); ok {
-					vals = append(vals, v)
-				}
-			}
-			row = append(row, Geomean(vals))
-		}
-		t.AddRow(row...)
-	}
-	return m, t
+	title := fmt.Sprintf("Figure 5: normalized performance (capacity tier: %s)", cfg.CapKind)
+	return m, MatrixTable(title, m, workloads, ratios, pols), nil
 }
 
 // Fig6 is the Graph500 scalability sweep: paper RSS 128GB to 690GB with
 // the fast tier fixed at 64GB. A tighter scale (1GB = 2MB) keeps the
-// large points tractable.
+// large points tractable. Sequential wrapper over Runner.Fig6.
 func Fig6(cfg Config, pols []string) (*Matrix, Table) {
+	m, t, _ := Sequential().Fig6(context.Background(), cfg, pols)
+	return m, t
+}
+
+// Fig6 fans the per-size baseline and policy runs out to the pool.
+func (r *Runner) Fig6(ctx context.Context, cfg Config, pols []string) (*Matrix, Table, error) {
 	if pols == nil {
 		pols = Policies
 	}
 	const scale = 2 << 20 // bytes per paper-GB for this figure
 	sizes := []float64{128, 192, 336, 690}
 	const fastGB = 64
-	m := &Matrix{}
-	t := Table{
-		Title:  "Figure 6: Graph500 under varying RSS (fast tier fixed 64GB-equivalent)",
-		Header: append([]string{"rss_gb"}, pols...),
-	}
-	mkCfg := func(rssGB float64, fast uint64) sim.Config {
+	mkCfg := func(rssGB float64, fast uint64, seed int64) sim.Config {
 		rss := uint64(rssGB * scale)
 		return sim.Config{
 			FastBytes: fast,
@@ -79,50 +62,121 @@ func Fig6(cfg Config, pols []string) (*Matrix, Table) {
 			CapKind:   cfg.CapKind,
 			THP:       true,
 			Threads:   cfg.Threads,
-			Seed:      cfg.Seed,
+			Seed:      seed,
 		}
 	}
-	for _, gb := range sizes {
+	bases := make([]sim.Result, len(sizes))
+	results := make([]sim.Result, len(sizes)*len(pols))
+	var tasks []cellTask
+	for si, gb := range sizes {
+		label := fmt.Sprintf("%.0fGB", gb)
 		// Access budget grows with footprint so init stays a fraction.
 		acc := cfg.Accesses + uint64(gb*scale)/tier.BasePageSize*3
-		baseW, _ := workload.NewScaled("graph500", gb*scale/workload.BytesPerPaperGB)
-		base := sim.Run(mkCfg(gb, tier.HugePageSize*2), NewPolicy("all-capacity"), baseW, acc)
+		tasks = append(tasks, cellTask{
+			label: "graph500/" + label + "/baseline",
+			run: func() uint64 {
+				w, _ := workload.NewScaled("graph500", gb*scale/workload.BytesPerPaperGB)
+				seed := CellSeed(cfg.Seed, "graph500", label, "all-capacity")
+				bases[si] = sim.Run(mkCfg(gb, tier.HugePageSize*2, seed), NewPolicy("all-capacity"), w, acc)
+				return bases[si].AppNS
+			},
+		})
+		for pi, p := range pols {
+			slot := si*len(pols) + pi
+			tasks = append(tasks, cellTask{
+				label: "graph500/" + label + "/" + p,
+				run: func() uint64 {
+					w, _ := workload.NewScaled("graph500", gb*scale/workload.BytesPerPaperGB)
+					fast := uint64(fastGB * scale)
+					if p == "hemem" {
+						over := w.Spec().SmallBytes()
+						if over < fast/2 {
+							fast -= over
+						}
+					}
+					seed := CellSeed(cfg.Seed, "graph500", label, p)
+					results[slot] = sim.Run(mkCfg(gb, fast, seed), NewPolicy(p), w, acc)
+					return results[slot].AppNS
+				},
+			})
+		}
+	}
+	if err := r.do(ctx, tasks); err != nil {
+		return nil, Table{}, err
+	}
+	m := &Matrix{}
+	t := Table{
+		Title:  "Figure 6: Graph500 under varying RSS (fast tier fixed 64GB-equivalent)",
+		Header: append([]string{"rss_gb"}, pols...),
+	}
+	for si, gb := range sizes {
 		row := []interface{}{fmt.Sprintf("%.0f", gb)}
-		for _, p := range pols {
-			fast := uint64(fastGB * scale)
-			if p == "hemem" {
-				over := baseW.Spec().SmallBytes()
-				if over < fast/2 {
-					fast -= over
-				}
-			}
-			w, _ := workload.NewScaled("graph500", gb*scale/workload.BytesPerPaperGB)
-			res := sim.Run(mkCfg(gb, fast), NewPolicy(p), w, acc)
-			v := Norm(res, base)
+		for pi, p := range pols {
+			res := results[si*len(pols)+pi]
+			v := Norm(res, bases[si])
 			m.Cells = append(m.Cells, Cell{Workload: "graph500", Ratio: fmt.Sprintf("%.0fGB", gb), Policy: p, Value: v, Result: res})
 			row = append(row, v)
 		}
 		t.AddRow(row...)
 	}
-	return m, t
+	return m, t, nil
 }
 
 // Fig7 is the 2:1 configuration (Meta's production target): MEMTIS vs
-// TPP with all-DRAM (with and without THP) references.
+// TPP with all-DRAM (with and without THP) references. Sequential
+// wrapper over Runner.Fig7.
 func Fig7(cfg Config) (*Matrix, Table) {
+	m, t, _ := Sequential().Fig7(context.Background(), cfg)
+	return m, t
+}
+
+// Fig7 fans each workload's five runs (baseline, two all-DRAM
+// references, TPP, MEMTIS) out to the pool.
+func (r *Runner) Fig7(ctx context.Context, cfg Config) (*Matrix, Table, error) {
+	workloads := workloadNames()
+	pols := []string{"tpp", "memtis"}
+	type f7row struct {
+		base, dramTHP, dramNoTHP sim.Result
+		pol                      [2]sim.Result
+	}
+	rows := make([]f7row, len(workloads))
+	var tasks []cellTask
+	for wi, wname := range workloads {
+		tasks = append(tasks,
+			cellTask{label: wname + "/2:1/baseline", run: func() uint64 {
+				rows[wi].base = RunBaseline(wname, CellConfig(cfg, wname, "baseline", "all-capacity"))
+				return rows[wi].base.AppNS
+			}},
+			cellTask{label: wname + "/2:1/all-dram-thp", run: func() uint64 {
+				rows[wi].dramTHP = RunAllFast(wname, true, CellConfig(cfg, wname, "2:1", "all-dram-thp"))
+				return rows[wi].dramTHP.AppNS
+			}},
+			cellTask{label: wname + "/2:1/all-dram-nothp", run: func() uint64 {
+				rows[wi].dramNoTHP = RunAllFast(wname, false, CellConfig(cfg, wname, "2:1", "all-dram-nothp"))
+				return rows[wi].dramNoTHP.AppNS
+			}})
+		for pi, p := range pols {
+			tasks = append(tasks, cellTask{label: wname + "/2:1/" + p, run: func() uint64 {
+				rows[wi].pol[pi] = RunOne(wname, p, Ratio2to1, CellConfig(cfg, wname, "2:1", p))
+				return rows[wi].pol[pi].AppNS
+			}})
+		}
+	}
+	if err := r.do(ctx, tasks); err != nil {
+		return nil, Table{}, err
+	}
 	m := &Matrix{}
 	t := Table{
 		Title:  "Figure 7: 2:1 configuration",
 		Header: []string{"workload", "alldram_thp", "alldram_nothp", "tpp", "memtis"},
 	}
-	for _, wname := range workloadNames() {
-		base := RunBaseline(wname, cfg)
-		dramTHP := Norm(RunAllFast(wname, true, cfg), base)
-		dramNoTHP := Norm(RunAllFast(wname, false, cfg), base)
+	for wi, wname := range workloads {
+		dramTHP := Norm(rows[wi].dramTHP, rows[wi].base)
+		dramNoTHP := Norm(rows[wi].dramNoTHP, rows[wi].base)
 		row := []interface{}{wname, dramTHP, dramNoTHP}
-		for _, p := range []string{"tpp", "memtis"} {
-			res := RunOne(wname, p, Ratio2to1, cfg)
-			v := Norm(res, base)
+		for pi, p := range pols {
+			res := rows[wi].pol[pi]
+			v := Norm(res, rows[wi].base)
 			m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: "2:1", Policy: p, Value: v, Result: res})
 			row = append(row, v)
 		}
@@ -131,30 +185,39 @@ func Fig7(cfg Config) (*Matrix, Table) {
 			Cell{Workload: wname, Ratio: "2:1", Policy: "all-dram-nothp", Value: dramNoTHP})
 		t.AddRow(row...)
 	}
-	return m, t
+	return m, t, nil
 }
 
 // Fig8 compares MEMTIS against HeMem and HeMem+ with 16 application
 // threads (no CPU contention for HeMem's spinning sampler) under 1:2.
+// Sequential wrapper over Runner.Fig8.
 func Fig8(cfg Config) (*Matrix, Table) {
+	m, t, _ := Sequential().Fig8(context.Background(), cfg)
+	return m, t
+}
+
+// Fig8 fans the 16-thread HeMem comparison out to the pool.
+func (r *Runner) Fig8(ctx context.Context, cfg Config) (*Matrix, Table, error) {
 	cfg.Threads = 16
-	m := &Matrix{}
+	workloads := workloadNames()
+	pols := []string{"hemem", "hemem+", "memtis"}
+	m, err := r.RunMatrix(ctx, cfg, workloads, []Ratio{Ratio1to2}, pols)
+	if err != nil {
+		return nil, Table{}, err
+	}
 	t := Table{
 		Title:  "Figure 8: MEMTIS vs HeMem/HeMem+ with 16 threads (1:2)",
 		Header: []string{"workload", "hemem", "hemem+", "memtis"},
 	}
-	for _, wname := range workloadNames() {
-		base := RunBaseline(wname, cfg)
+	for _, wname := range workloads {
 		row := []interface{}{wname}
-		for _, p := range []string{"hemem", "hemem+", "memtis"} {
-			res := RunOne(wname, p, Ratio1to2, cfg)
-			v := Norm(res, base)
-			m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: "1:2", Policy: p, Value: v, Result: res})
+		for _, p := range pols {
+			v, _ := m.Get(wname, "1:2", p)
 			row = append(row, v)
 		}
 		t.AddRow(row...)
 	}
-	return m, t
+	return m, t, nil
 }
 
 // Fig9Series is MEMTIS's identified hot/warm/cold sizes over time.
@@ -391,28 +454,37 @@ func Fig13(cfg Config) (*Matrix, Table) {
 }
 
 // Fig14 repeats the comparison with emulated CXL memory (177ns) as the
-// capacity tier: MEMTIS vs TPP across the three ratios.
+// capacity tier: MEMTIS vs TPP across the three ratios. Sequential
+// wrapper over Runner.Fig14.
 func Fig14(cfg Config) (*Matrix, Table) {
+	m, t, _ := Sequential().Fig14(context.Background(), cfg)
+	return m, t
+}
+
+// Fig14 fans the CXL-capacity-tier comparison out to the pool.
+func (r *Runner) Fig14(ctx context.Context, cfg Config) (*Matrix, Table, error) {
 	cfg.CapKind = tier.CXL
-	m := &Matrix{}
+	workloads := workloadNames()
+	pols := []string{"tpp", "memtis"}
+	m, err := r.RunMatrix(ctx, cfg, workloads, MainRatios, pols)
+	if err != nil {
+		return nil, Table{}, err
+	}
 	t := Table{
 		Title:  "Figure 14: MEMTIS vs TPP with CXL capacity tier",
 		Header: []string{"workload", "ratio", "tpp", "memtis"},
 	}
-	for _, wname := range workloadNames() {
-		base := RunBaseline(wname, cfg)
-		for _, r := range MainRatios {
-			row := []interface{}{wname, r.Name}
-			for _, p := range []string{"tpp", "memtis"} {
-				res := RunOne(wname, p, r, cfg)
-				v := Norm(res, base)
-				m.Cells = append(m.Cells, Cell{Workload: wname, Ratio: r.Name, Policy: p, Value: v, Result: res})
+	for _, wname := range workloads {
+		for _, rt := range MainRatios {
+			row := []interface{}{wname, rt.Name}
+			for _, p := range pols {
+				v, _ := m.Get(wname, rt.Name, p)
 				row = append(row, v)
 			}
 			t.AddRow(row...)
 		}
 	}
-	return m, t
+	return m, t, nil
 }
 
 func workloadNames() []string {

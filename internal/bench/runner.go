@@ -1,0 +1,263 @@
+// The parallel experiment runner: fans the (workload, ratio, policy)
+// cells of an experiment matrix out to a bounded worker pool, one
+// independent simulated machine per cell, and assembles results in
+// deterministic plot order regardless of completion order.
+//
+// Determinism across worker counts rests on two invariants:
+//
+//  1. Every cell derives its own RNG seed from (Config.Seed, workload,
+//     ratio, policy) via CellSeed — no cell's stream depends on how
+//     many cells ran before it, so scheduling cannot perturb results.
+//  2. A cell runs on a private Machine, Policy and Workload instance;
+//     no package in the simulator holds mutable global state (see
+//     TestMachinesAreIndependent in internal/sim).
+//
+// The determinism regression tests in runner_test.go assert that an
+// 8-worker run is cell-for-cell identical to a sequential one.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memtis/internal/sim"
+)
+
+// CellSeed derives an independent per-cell RNG seed from the base seed
+// and the cell's matrix coordinates using FNV-1a hashes of the
+// coordinates pushed through a SplitMix64 finalizer. Cells of the same
+// matrix get statistically independent streams; the same coordinates
+// and base seed always yield the same stream.
+func CellSeed(base int64, workload, ratio, policy string) int64 {
+	h := splitmix64(uint64(base) ^ fnv1a(workload))
+	h = splitmix64(h ^ fnv1a(ratio))
+	h = splitmix64(h ^ fnv1a(policy))
+	return int64(h)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al., "Fast
+// splittable pseudorandom number generators"): a bijective avalanche
+// mix, so distinct inputs cannot collide by construction.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes a coordinate string (FNV-1a 64-bit).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// CellConfig returns cfg with Seed replaced by the cell-derived seed.
+// Matrix runners use it for every cell; single-run entry points
+// (RunOne with a caller-chosen seed) are unaffected.
+func CellConfig(cfg Config, workload, ratio, policy string) Config {
+	cfg.Seed = CellSeed(cfg.Seed, workload, ratio, policy)
+	return cfg
+}
+
+// Progress is one runner progress event, emitted after each cell
+// completes.
+type Progress struct {
+	Done      int    // cells finished so far
+	Total     int    // cells in this fan-out
+	Cell      string // label of the cell that just finished
+	VirtualNS uint64 // cumulative simulated virtual time across cells
+}
+
+// Runner executes experiment cells on a bounded worker pool.
+//
+// Workers <= 0 uses GOMAXPROCS; Workers == 1 is the sequential mode:
+// cells run in enumeration order on the calling goroutine (the
+// reference for the parallel-equals-sequential tests). The zero value
+// is a parallel runner with no progress reporting.
+type Runner struct {
+	Workers int
+	// Progress, when set, observes every cell completion. It is called
+	// under the runner's lock: keep it fast and do not call back into
+	// the runner.
+	Progress func(Progress)
+}
+
+// Sequential returns a single-worker runner — the determinism
+// reference.
+func Sequential() *Runner { return &Runner{Workers: 1} }
+
+// Parallel returns a runner with n workers (n <= 0: GOMAXPROCS).
+func Parallel(n int) *Runner { return &Runner{Workers: n} }
+
+// cellTask is one schedulable unit: label for progress reporting, run
+// executes the cell (writing into its pre-assigned result slot) and
+// returns the virtual nanoseconds it simulated.
+type cellTask struct {
+	label string
+	run   func() uint64
+}
+
+// do drains tasks with the runner's worker bound. Each task owns its
+// result slot, so workers never share mutable state; only the progress
+// counters are locked. On context cancellation, in-flight cells finish
+// and the remainder are never started.
+func (r *Runner) do(ctx context.Context, tasks []cellTask) error {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	total := len(tasks)
+	if workers <= 1 {
+		// Sequential fast path on the calling goroutine: natural stacks
+		// for panics and no scheduler in the loop.
+		var virt uint64
+		for i, t := range tasks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			virt += t.run()
+			if r.Progress != nil {
+				r.Progress(Progress{Done: i + 1, Total: total, Cell: t.label, VirtualNS: virt})
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+		virt uint64
+	)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range tasks {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v := tasks[i].run()
+				mu.Lock()
+				done++
+				virt += v
+				if r.Progress != nil {
+					r.Progress(Progress{Done: done, Total: total, Cell: tasks[i].label, VirtualNS: virt})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// RunMatrix executes the (workload x ratio x policy) matrix plus the
+// per-workload all-capacity baselines every figure normalises against,
+// and assembles the normalised Matrix in plot order (workloads outer,
+// ratios, then policies) regardless of completion order. Nil slices
+// select the Figure 5 defaults.
+func (r *Runner) RunMatrix(ctx context.Context, cfg Config, workloads []string, ratios []Ratio, pols []string) (*Matrix, error) {
+	if workloads == nil {
+		workloads = workloadNames()
+	}
+	if ratios == nil {
+		ratios = MainRatios
+	}
+	if pols == nil {
+		pols = Policies
+	}
+	bases := make([]sim.Result, len(workloads))
+	results := make([]sim.Result, len(workloads)*len(ratios)*len(pols))
+	var tasks []cellTask
+	for wi, wname := range workloads {
+		tasks = append(tasks, cellTask{
+			label: wname + "/baseline",
+			run: func() uint64 {
+				bases[wi] = RunBaseline(wname, CellConfig(cfg, wname, "baseline", "all-capacity"))
+				return bases[wi].AppNS
+			},
+		})
+		for ri, rt := range ratios {
+			for pi, p := range pols {
+				slot := (wi*len(ratios)+ri)*len(pols) + pi
+				tasks = append(tasks, cellTask{
+					label: fmt.Sprintf("%s/%s/%s", wname, rt.Name, p),
+					run: func() uint64 {
+						results[slot] = RunOne(wname, p, rt, CellConfig(cfg, wname, rt.Name, p))
+						return results[slot].AppNS
+					},
+				})
+			}
+		}
+	}
+	if err := r.do(ctx, tasks); err != nil {
+		return nil, err
+	}
+	m := &Matrix{}
+	for wi, wname := range workloads {
+		for ri, rt := range ratios {
+			for pi, p := range pols {
+				res := results[(wi*len(ratios)+ri)*len(pols)+pi]
+				m.Cells = append(m.Cells, Cell{
+					Workload: wname, Ratio: rt.Name, Policy: p,
+					Value: Norm(res, bases[wi]), Result: res,
+				})
+			}
+		}
+	}
+	return m, nil
+}
+
+// RunAll runs the full Figure 5 matrix — every Table 2 workload, every
+// main ratio, every Figure 5 system — the heaviest standard fan-out.
+func (r *Runner) RunAll(ctx context.Context, cfg Config) (*Matrix, error) {
+	return r.RunMatrix(ctx, cfg, nil, nil, nil)
+}
+
+// MatrixTable renders a matrix as a (workload, ratio) x policy table
+// with per-ratio geomean rows — the Figure 5 presentation, reused by
+// cmd/memtis-sim's matrix mode.
+func MatrixTable(title string, m *Matrix, workloads []string, ratios []Ratio, pols []string) Table {
+	t := Table{Title: title, Header: append([]string{"workload", "ratio"}, pols...)}
+	for _, wname := range workloads {
+		for _, rt := range ratios {
+			row := []interface{}{wname, rt.Name}
+			for _, p := range pols {
+				v, _ := m.Get(wname, rt.Name, p)
+				row = append(row, v)
+			}
+			t.AddRow(row...)
+		}
+	}
+	for _, rt := range ratios {
+		row := []interface{}{"geomean", rt.Name}
+		for _, p := range pols {
+			var vals []float64
+			for _, wname := range workloads {
+				if v, ok := m.Get(wname, rt.Name, p); ok {
+					vals = append(vals, v)
+				}
+			}
+			row = append(row, Geomean(vals))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Golden shape assertion for the DESIGN.md §3 ordering claims on the
+// F5 smoke cell set: under the 1:8 configuration — the paper's
+// headline constrained setting — MEMTIS must be at least as good as
+// the second-best system in every Table 2 workload cell. The 1:2 cells
+// are deliberately not asserted: at smoke budgets several are within
+// noise of fault-based baselines (EXPERIMENTS.md notes the
+// re-baseline), while the 1:8 ordering is robust across seeds.
+//
+// On failure the full cell table is printed so the regressing cell can
+// be read off directly.
+func TestShapeF5SmokeMemtisGeSecondBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	cfg := DefaultConfig()
+	cfg.Accesses = 1_500_000
+	ratios := []Ratio{Ratio1to8}
+	m, tb, err := Parallel(0).Fig5(context.Background(), cfg, nil, ratios, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var failed []string
+	for _, wname := range workloadNames() {
+		best, second, bv, sv := m.Best(wname, "1:8")
+		mv, ok := m.Get(wname, "1:8", "memtis")
+		if !ok {
+			t.Fatalf("cell %s/1:8/memtis missing", wname)
+		}
+		if best != "memtis" && mv < sv {
+			failed = append(failed, fmt.Sprintf(
+				"%s 1:8: memtis %.3f behind best %s %.3f (second %s %.3f)",
+				wname, mv, best, bv, second, sv))
+		}
+	}
+	if len(failed) > 0 {
+		t.Errorf("MEMTIS fell behind the second-best system on %d cell(s):\n  %s\n\nfull cell table:\n%s",
+			len(failed), strings.Join(failed, "\n  "), tb.String())
+	}
+}

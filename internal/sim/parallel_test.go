@@ -1,0 +1,107 @@
+// The per-machine RNG audit backing the parallel experiment runner
+// (internal/bench): machines constructed from the same Config must be
+// fully independent — no shared mutable state between runs anywhere in
+// sim, vm, tier, tlb, pebs, core or workload — so that concurrent runs
+// are bit-identical to isolated ones. Run under -race (make race).
+package sim_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	memtis "memtis/internal/core"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/workload"
+)
+
+func auditCfg(rss uint64) sim.Config {
+	return sim.Config{
+		FastBytes: rss / 9,
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		THP:       true,
+		Seed:      42,
+		RecordNS:  500_000,
+	}
+}
+
+// TestMachinesAreIndependent runs the same (config, policy, workload)
+// triple on several concurrent machines and requires every result —
+// stats, series, RSS, migration counters — to be identical to a run in
+// isolation. Any cross-machine shared state (a package-level RNG, a
+// shared pool, a cached table mutated during runs) shows up either as a
+// result divergence here or as a data race under -race.
+func TestMachinesAreIndependent(t *testing.T) {
+	const goroutines = 4
+	const accesses = 200_000
+
+	run := func() sim.Result {
+		w := workload.MustNew("silo")
+		cfg := auditCfg(w.Spec().RSSBytes())
+		return sim.Run(cfg, memtis.New(memtis.Config{}), w, accesses)
+	}
+
+	ref := run()
+
+	results := make([]sim.Result, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			results[i] = run()
+		}()
+	}
+	wg.Wait()
+
+	for i, got := range results {
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("machine %d diverged from the isolated run:\n got %+v\nwant %+v", i, got, ref)
+		}
+	}
+	if ref.Accesses == 0 || ref.VM.MigratedBytes == 0 {
+		t.Fatalf("audit run too trivial to be meaningful: %+v", ref)
+	}
+}
+
+// TestDistinctPoliciesShareNothing runs different policies concurrently
+// against the same workload and checks each matches its own isolated
+// reference — guarding against state shared through the policy
+// registry or tier/vm internals rather than between identical twins.
+func TestDistinctPoliciesShareNothing(t *testing.T) {
+	const accesses = 150_000
+	mk := func(name string) func() sim.Result {
+		return func() sim.Result {
+			w := workload.MustNew("pagerank")
+			cfg := auditCfg(w.Spec().RSSBytes())
+			var pol sim.Policy
+			if name == "memtis" {
+				pol = memtis.New(memtis.Config{})
+			} else {
+				pol = memtis.New(memtis.Config{SplitDisabled: true})
+			}
+			return sim.Run(cfg, pol, w, accesses)
+		}
+	}
+	runs := []func() sim.Result{mk("memtis"), mk("memtis-ns")}
+	refs := make([]sim.Result, len(runs))
+	for i, r := range runs {
+		refs[i] = r()
+	}
+	got := make([]sim.Result, len(runs))
+	var wg sync.WaitGroup
+	wg.Add(len(runs))
+	for i := range runs {
+		go func() {
+			defer wg.Done()
+			got[i] = runs[i]()
+		}()
+	}
+	wg.Wait()
+	for i := range runs {
+		if !reflect.DeepEqual(got[i], refs[i]) {
+			t.Fatalf("concurrent run %d diverged from its isolated reference", i)
+		}
+	}
+}

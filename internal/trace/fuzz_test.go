@@ -1,0 +1,125 @@
+// Fuzz harness for the varint trace codec (go test -fuzz). The seed
+// corpus is checked in under testdata/fuzz/<Target>/ so plain `go test`
+// always replays it in CI; `make fuzz` explores further.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// validStream encodes records into a well-formed trace stream.
+func validStream(recs []Record) []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range recs {
+		if err := w.Add(r.VPN, r.Write); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReaderNext feeds arbitrary bytes to the reader: NewReader and
+// Next must never panic, and every stream must terminate in bounded
+// steps with either io.EOF or a decode error — whatever the input
+// (truncated varints, bad magic, wrong version, overlong encodings).
+func FuzzReaderNext(f *testing.F) {
+	f.Add([]byte{})                         // empty
+	f.Add([]byte("MTRC"))                   // header cut before version
+	f.Add([]byte{'M', 'T', 'R', 'C', 0xff}) // wrong version
+	f.Add([]byte("XTRC\x01\x02"))           // bad magic
+	f.Add(validStream(nil))                 // header only
+	f.Add(validStream([]Record{{1, false}, {2, true}, {1 << 40, false}}))
+	f.Add(append(validStream([]Record{{^uint64(0) >> 1, true}}), 0x80))                               // truncated trailing varint
+	f.Add(append(validStream(nil), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)) // overlong varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A record costs at least one input byte, so the stream must end
+		// within len(data) steps; anything more means Next stopped
+		// consuming input.
+		for i := 0; i <= len(data); i++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // decode error is a valid terminal state
+			}
+			if rec.VPN > ^uint64(0)>>1 {
+				t.Fatalf("decoded VPN %d exceeds the encodable range", rec.VPN)
+			}
+		}
+		t.Fatalf("reader did not terminate after %d records on %d input bytes", len(data)+1, len(data))
+	})
+}
+
+// FuzzRoundTrip derives a record sequence from the fuzz input, writes
+// it through Writer and requires Reader to return exactly the same
+// records — every record preserved, none invented — and requires any
+// truncation of the encoded stream to fail cleanly rather than panic.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []Record
+		for i := 0; i+8 <= len(data) && len(recs) < 1<<12; i += 8 {
+			v := binary.LittleEndian.Uint64(data[i:])
+			recs = append(recs, Record{VPN: v >> 1, Write: v&1 == 1})
+		}
+		enc := validStream(recs)
+
+		r, err := NewReader(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("reader rejected a writer-produced stream: %v", err)
+		}
+		got, err := ReadAll(r)
+		if err != nil {
+			t.Fatalf("ReadAll on a valid stream: %v", err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("round trip lost records: wrote %d, read %d", len(recs), len(got))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("record %d: wrote %+v, read %+v", i, recs[i], got[i])
+			}
+		}
+
+		// Truncations (including mid-varint cuts) must error or EOF
+		// early, never panic and never fabricate more records.
+		for _, cut := range []int{len(enc) - 1, len(enc) / 2, 6, 5} {
+			if cut < 0 || cut >= len(enc) {
+				continue
+			}
+			tr, err := NewReader(bytes.NewReader(enc[:cut]))
+			if err != nil {
+				continue // header itself truncated
+			}
+			n := 0
+			for {
+				_, err := tr.Next()
+				if err != nil {
+					break
+				}
+				n++
+			}
+			if n > len(recs) {
+				t.Fatalf("truncated stream produced %d records, original had %d", n, len(recs))
+			}
+		}
+	})
+}
