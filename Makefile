@@ -28,14 +28,17 @@ test:
 # per-machine shared-state audit, and the codec/dist suites, all under
 # -race with CI-sized budgets.
 race:
-	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing' ./internal/bench ./internal/sim
-	$(GO) test -race ./internal/trace ./internal/dist
+	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestEventTraceGolden|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing' ./internal/bench ./internal/sim
+	$(GO) test -race ./internal/trace ./internal/dist ./internal/obs
 
 # Replayed continuously by `go test`; this explores beyond the seed
 # corpus for a bounded time per target.
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -fuzz=FuzzReaderNext -fuzztime=30s ./internal/trace
-	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzReaderNext -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz=FuzzDecoder -fuzztime=$(FUZZTIME) ./internal/obs
+	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=$(FUZZTIME) ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -8,20 +8,25 @@
 // Usage:
 //
 //	memtis-sim -workload silo -policy memtis -ratio 1:8 -accesses 2000000
+//	memtis-sim -workload silo -policy memtis -trace-events silo.events.jsonl
 //	memtis-sim -workload silo,btree -policy tpp,memtis -ratio 1:2,1:8 -parallel 8
-//	memtis-sim -workload all -policy memtis,hemem -ratio 1:8
+//	memtis-sim -workload all -policy memtis,hemem -ratio 1:8 -trace-events traces/
 //	memtis-sim -list
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 
 	"memtis/internal/bench"
+	"memtis/internal/obs"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
 	"memtis/internal/workload"
@@ -40,8 +45,18 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and policies, then exit")
 		baseline = flag.Bool("baseline", false, "also run the all-capacity baseline and report normalized performance")
 		series   = flag.String("series", "", "write a time-series CSV (hot/warm/cold, RSS, hit ratio) to this path")
+		traceOut = flag.String("trace-events", "", "write a JSONL event trace to this path (matrix mode: a directory, one trace per cell)")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "memtis-sim: pprof:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -71,16 +86,57 @@ func main() {
 
 	if strings.Contains(*wname, ",") || *wname == "all" ||
 		strings.Contains(*pname, ",") || strings.Contains(*ratio, ",") {
+		cfg.EventDir = *traceOut
 		runMatrix(cfg, *wname, *pname, *ratio, *parallel)
 		return
 	}
 
 	r := parseRatio(*ratio)
 
+	// Validate names up front: a typo is a usage error, not a panic.
+	knownW := false
+	for _, s := range workload.Specs() {
+		knownW = knownW || s.Name == *wname
+	}
+	if !knownW {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (see -list)\n", *wname)
+		os.Exit(2)
+	}
+	if !bench.KnownPolicy(*pname) {
+		fmt.Fprintf(os.Stderr, "unknown policy %q (see -list)\n", *pname)
+		os.Exit(2)
+	}
+
 	if *series != "" {
 		cfg.RecordNS = 300_000
 	}
+	var flushTrace func() error
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+			os.Exit(1)
+		}
+		sink := obs.NewJSONL(f)
+		cfg.Trace = obs.NewTracer(sink)
+		flushTrace = func() error {
+			if err := sink.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
 	res := bench.RunOne(*wname, *pname, r, cfg)
+	// The trace file holds exactly this run; the optional baseline run
+	// below must not append to it.
+	cfg.Trace = nil
+	if flushTrace != nil {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+			os.Exit(1)
+		}
+	}
 	if *series != "" {
 		if err := writeSeriesCSV(*series, res); err != nil {
 			fmt.Fprintln(os.Stderr, "memtis-sim:", err)
@@ -184,6 +240,11 @@ func runMatrix(cfg bench.Config, wlist, plist, rlist string, workers int) {
 	}
 	m, err := runner.RunMatrix(ctx, cfg, workloads, ratios, pols)
 	if err != nil {
+		var ce *bench.Cancelled
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "\nmemtis-sim: interrupted after %d/%d cells\n", ce.Done, ce.Total)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "\nmemtis-sim:", err)
 		os.Exit(1)
 	}

@@ -104,11 +104,30 @@ func main() {
 				return bench.Table{}, err
 			}
 			mustWrite(filepath.Join(*out, "fig5.plot.txt"), fig5Plot(m))
+			writeCounters(*out, "fig5", m)
 			return t, nil
 		}},
-		{"fig6", func() (bench.Table, error) { _, t, err := runner.Fig6(ctx, cfg, nil); return t, err }},
-		{"fig7", func() (bench.Table, error) { _, t, err := runner.Fig7(ctx, cfg); return t, err }},
-		{"fig8", func() (bench.Table, error) { _, t, err := runner.Fig8(ctx, cfg); return t, err }},
+		{"fig6", func() (bench.Table, error) {
+			m, t, err := runner.Fig6(ctx, cfg, nil)
+			if err == nil {
+				writeCounters(*out, "fig6", m)
+			}
+			return t, err
+		}},
+		{"fig7", func() (bench.Table, error) {
+			m, t, err := runner.Fig7(ctx, cfg)
+			if err == nil {
+				writeCounters(*out, "fig7", m)
+			}
+			return t, err
+		}},
+		{"fig8", func() (bench.Table, error) {
+			m, t, err := runner.Fig8(ctx, cfg)
+			if err == nil {
+				writeCounters(*out, "fig8", m)
+			}
+			return t, err
+		}},
 		{"fig9", seqTable(func() bench.Table {
 			series, t := bench.Fig9(cfg)
 			var plots strings.Builder
@@ -151,7 +170,13 @@ func main() {
 		})},
 		{"fig12", seqTable(func() bench.Table { _, t := bench.Fig12(cfg); return t })},
 		{"fig13", seqTable(func() bench.Table { _, t := bench.Fig13(cfg); return t })},
-		{"fig14", func() (bench.Table, error) { _, t, err := runner.Fig14(ctx, cfg); return t, err }},
+		{"fig14", func() (bench.Table, error) {
+			m, t, err := runner.Fig14(ctx, cfg)
+			if err == nil {
+				writeCounters(*out, "fig14", m)
+			}
+			return t, err
+		}},
 		{"overhead", seqTable(func() bench.Table { _, t := bench.Overhead(cfg); return t })},
 	}
 
@@ -166,7 +191,12 @@ func main() {
 		start := time.Now()
 		t, err := j.run()
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "\n%s interrupted\n", j.name)
+			var ce *bench.Cancelled
+			if errors.As(err, &ce) {
+				fmt.Fprintf(os.Stderr, "\n%s interrupted after %d/%d cells\n", j.name, ce.Done, ce.Total)
+			} else {
+				fmt.Fprintf(os.Stderr, "\n%s interrupted\n", j.name)
+			}
 			break
 		}
 		if err != nil {
@@ -240,6 +270,12 @@ func writeSeries(dir, name string, pts []sim.SeriesPoint, fastBytes uint64) {
 			p.FastHitWin, p.ThroughputWin/1e6, float64(fastBytes)/(1<<20))
 	}
 	mustWrite(filepath.Join(dir, name), b.String())
+}
+
+// writeCounters dumps every cell's policy counter snapshot next to the
+// figure output (additive observability: never an input to the figure).
+func writeCounters(dir, fig string, m *bench.Matrix) {
+	mustWrite(filepath.Join(dir, fig+".counters.csv"), m.CountersCSV())
 }
 
 func mustWrite(path, content string) {

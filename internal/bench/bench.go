@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	memtis "memtis/internal/core"
+	"memtis/internal/obs"
 	"memtis/internal/policy"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
@@ -45,6 +47,16 @@ type Config struct {
 	CapKind  tier.Kind // capacity-tier technology (NVM default)
 	Threads  int       // app threads (0 = cores, i.e. saturated)
 	RecordNS uint64    // time-series sampling (0 = off)
+
+	// Trace attaches an event tracer to single runs (RunOne,
+	// RunBaseline, RunAllFast). Matrix runners ignore it — a tracer
+	// serves exactly one machine, so sharing one across parallel cells
+	// would interleave streams; set EventDir instead.
+	Trace *obs.Tracer
+	// EventDir, when non-empty, makes RunMatrix write one JSONL event
+	// trace per cell into this directory (created if missing), named
+	// <workload>_<ratio>_<policy>.events.jsonl with ':' spelled "to".
+	EventDir string
 }
 
 // DefaultConfig returns the harness defaults used by the bench targets.
@@ -90,16 +102,24 @@ func NewPolicy(name string) sim.Policy {
 	}
 }
 
+// AllPolicies lists every name NewPolicy accepts, in a stable order —
+// the conformance suite iterates it so a newly registered policy is
+// exercised automatically.
+var AllPolicies = []string{
+	"autonuma", "autotiering", "tiering-0.8", "tpp", "nimble",
+	"multi-clock", "hemem", "hemem+", "memtis", "memtis-ns",
+	"memtis-nowarm", "memtis-vanilla", "memtis-hybrid", "static",
+	"all-fast", "all-capacity",
+}
+
 // KnownPolicy reports whether NewPolicy accepts name, so callers can
 // validate user input before fanning out instead of panicking
 // mid-matrix.
 func KnownPolicy(name string) bool {
-	switch name {
-	case "autonuma", "autotiering", "tiering-0.8", "tpp", "nimble",
-		"multi-clock", "hemem", "hemem+", "memtis", "memtis-ns",
-		"memtis-nowarm", "memtis-vanilla", "memtis-hybrid", "static",
-		"all-fast", "all-capacity":
-		return true
+	for _, p := range AllPolicies {
+		if p == name {
+			return true
+		}
 	}
 	return false
 }
@@ -132,6 +152,7 @@ func MachineFor(spec workload.Spec, r Ratio, polName string, cfg Config) sim.Con
 		Threads:   cfg.Threads,
 		Seed:      cfg.Seed,
 		RecordNS:  cfg.RecordNS,
+		Trace:     cfg.Trace,
 	}
 }
 
@@ -154,6 +175,7 @@ func RunBaseline(wname string, cfg Config) sim.Result {
 		THP:       true,
 		Threads:   cfg.Threads,
 		Seed:      cfg.Seed,
+		Trace:     cfg.Trace,
 	}
 	return sim.Run(mc, NewPolicy("all-capacity"), w, cfg.Accesses)
 }
@@ -170,6 +192,7 @@ func RunAllFast(wname string, thp bool, cfg Config) sim.Result {
 		THP:       thp,
 		Threads:   cfg.Threads,
 		Seed:      cfg.Seed,
+		Trace:     cfg.Trace,
 	}
 	return sim.Run(mc, NewPolicy("all-fast"), w, cfg.Accesses)
 }
@@ -209,6 +232,23 @@ type Cell struct {
 // Matrix is a set of cells with lookup helpers.
 type Matrix struct {
 	Cells []Cell
+}
+
+// CountersCSV renders every cell's counter snapshot as CSV
+// (workload,ratio,policy,metric,kind,value), cells in plot order and
+// metrics sorted by name within a cell — the per-cell counter dump
+// written next to figure output. Counters are additive observability:
+// they never feed back into the figures themselves.
+func (m *Matrix) CountersCSV() string {
+	var b strings.Builder
+	b.WriteString("workload,ratio,policy,metric,kind,value\n")
+	for _, c := range m.Cells {
+		for _, mt := range c.Result.Counters {
+			fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%d\n",
+				c.Workload, c.Ratio, c.Policy, mt.Name, mt.Kind, mt.Value)
+		}
+	}
+	return b.String()
 }
 
 // Get fetches one cell's value.

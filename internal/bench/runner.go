@@ -19,9 +19,13 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 
+	"memtis/internal/obs"
 	"memtis/internal/sim"
 )
 
@@ -64,6 +68,22 @@ func CellConfig(cfg Config, workload, ratio, policy string) Config {
 	cfg.Seed = CellSeed(cfg.Seed, workload, ratio, policy)
 	return cfg
 }
+
+// Cancelled reports a fan-out stopped by context cancellation before
+// every cell ran. It wraps the context's error, so
+// errors.Is(err, context.Canceled) keeps matching; callers that want
+// the completed-cell count unwrap it with errors.As.
+type Cancelled struct {
+	Done  int   // cells that finished before the stop
+	Total int   // cells the fan-out was asked to run
+	Cause error // the context's error (Canceled or DeadlineExceeded)
+}
+
+func (e *Cancelled) Error() string {
+	return fmt.Sprintf("bench: cancelled after %d/%d cells: %v", e.Done, e.Total, e.Cause)
+}
+
+func (e *Cancelled) Unwrap() error { return e.Cause }
 
 // Progress is one runner progress event, emitted after each cell
 // completes.
@@ -122,7 +142,7 @@ func (r *Runner) do(ctx context.Context, tasks []cellTask) error {
 		var virt uint64
 		for i, t := range tasks {
 			if err := ctx.Err(); err != nil {
-				return err
+				return &Cancelled{Done: i, Total: total, Cause: err}
 			}
 			virt += t.run()
 			if r.Progress != nil {
@@ -165,7 +185,44 @@ func (r *Runner) do(ctx context.Context, tasks []cellTask) error {
 		}()
 	}
 	wg.Wait()
-	return ctx.Err()
+	// done is stable once every worker has exited; no lock needed.
+	if err := ctx.Err(); err != nil {
+		return &Cancelled{Done: done, Total: total, Cause: err}
+	}
+	return nil
+}
+
+// cellTrace attaches a per-cell JSONL tracer to ccfg when dir is
+// non-empty, returning a flush-and-close func. It always clears
+// ccfg.Trace first: matrix cells never share a caller-supplied tracer
+// (parallel cells would interleave one stream).
+func cellTrace(dir, workload, ratio, polName string, ccfg *Config) (func() error, error) {
+	ccfg.Trace = nil
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	name := fmt.Sprintf("%s_%s_%s.events.jsonl",
+		fileSafe(workload), fileSafe(ratio), fileSafe(polName))
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	sink := obs.NewJSONL(f)
+	ccfg.Trace = obs.NewTracer(sink)
+	return func() error {
+		if err := sink.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+// fileSafe maps a matrix coordinate onto a file-name fragment: ':' (in
+// ratio names) is spelled "to", path separators become '-'.
+func fileSafe(s string) string {
+	s = strings.ReplaceAll(s, ":", "to")
+	return strings.ReplaceAll(s, "/", "-")
 }
 
 // RunMatrix executes the (workload x ratio x policy) matrix plus the
@@ -183,6 +240,24 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg Config, workloads []string, 
 	if pols == nil {
 		pols = Policies
 	}
+	if cfg.EventDir != "" {
+		if err := os.MkdirAll(cfg.EventDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	// First trace-I/O failure across cells; the matrix is invalid when a
+	// requested trace could not be written.
+	var (
+		failMu sync.Mutex
+		failed error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if failed == nil {
+			failed = err
+		}
+		failMu.Unlock()
+	}
 	bases := make([]sim.Result, len(workloads))
 	results := make([]sim.Result, len(workloads)*len(ratios)*len(pols))
 	var tasks []cellTask
@@ -190,7 +265,16 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg Config, workloads []string, 
 		tasks = append(tasks, cellTask{
 			label: wname + "/baseline",
 			run: func() uint64 {
-				bases[wi] = RunBaseline(wname, CellConfig(cfg, wname, "baseline", "all-capacity"))
+				ccfg := CellConfig(cfg, wname, "baseline", "all-capacity")
+				closeTrace, err := cellTrace(cfg.EventDir, wname, "baseline", "all-capacity", &ccfg)
+				if err != nil {
+					fail(err)
+					return 0
+				}
+				bases[wi] = RunBaseline(wname, ccfg)
+				if err := closeTrace(); err != nil {
+					fail(err)
+				}
 				return bases[wi].AppNS
 			},
 		})
@@ -200,7 +284,16 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg Config, workloads []string, 
 				tasks = append(tasks, cellTask{
 					label: fmt.Sprintf("%s/%s/%s", wname, rt.Name, p),
 					run: func() uint64 {
-						results[slot] = RunOne(wname, p, rt, CellConfig(cfg, wname, rt.Name, p))
+						ccfg := CellConfig(cfg, wname, rt.Name, p)
+						closeTrace, err := cellTrace(cfg.EventDir, wname, rt.Name, p, &ccfg)
+						if err != nil {
+							fail(err)
+							return 0
+						}
+						results[slot] = RunOne(wname, p, rt, ccfg)
+						if err := closeTrace(); err != nil {
+							fail(err)
+						}
 						return results[slot].AppNS
 					},
 				})
@@ -209,6 +302,9 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg Config, workloads []string, 
 	}
 	if err := r.do(ctx, tasks); err != nil {
 		return nil, err
+	}
+	if failed != nil {
+		return nil, fmt.Errorf("bench: writing event traces: %w", failed)
 	}
 	m := &Matrix{}
 	for wi, wname := range workloads {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -144,7 +145,8 @@ func TestCellConfigOnlyChangesSeed(t *testing.T) {
 }
 
 // TestRunnerCancellation: a cancelled context stops the fan-out early
-// and surfaces context.Canceled.
+// and surfaces a Cancelled error that still matches context.Canceled
+// and reports how many cells completed out of how many were asked for.
 func TestRunnerCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -163,17 +165,69 @@ func TestRunnerCancellation(t *testing.T) {
 		}}
 	}
 	err := Parallel(2).do(ctx, tasks)
-	if err != context.Canceled {
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
+	var ce *Cancelled
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *Cancelled", err)
+	}
 	mu.Lock()
-	defer mu.Unlock()
-	if started == len(tasks) {
+	ran := started
+	mu.Unlock()
+	if ce.Total != len(tasks) {
+		t.Fatalf("Total = %d, want %d", ce.Total, len(tasks))
+	}
+	if ce.Done != ran {
+		t.Fatalf("Done = %d, but %d cells ran", ce.Done, ran)
+	}
+	if ran == len(tasks) {
 		t.Fatal("cancellation did not stop the fan-out")
 	}
-	// Sequential mode observes cancellation too.
-	if err := Sequential().do(ctx, tasks); err != context.Canceled {
+	// Sequential mode observes cancellation too, before running anything
+	// on an already-dead context.
+	err = Sequential().do(ctx, tasks)
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("sequential err = %v", err)
+	}
+	ce = nil
+	if !errors.As(err, &ce) || ce.Done != 0 || ce.Total != len(tasks) {
+		t.Fatalf("sequential Cancelled = %+v", ce)
+	}
+}
+
+// TestCancelledReportMatchesProgress: the Done count in the Cancelled
+// error must equal the last progress event's Done — this is the count
+// the CLIs print, and it used to be silently dropped on cancellation.
+func TestCancelledReportMatchesProgress(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var last Progress
+	r := &Runner{Workers: 4, Progress: func(p Progress) { last = p }}
+	started := 0
+	tasks := make([]cellTask, 32)
+	for i := range tasks {
+		tasks[i] = cellTask{label: fmt.Sprintf("t%d", i), run: func() uint64 {
+			mu.Lock()
+			started++
+			if started == 3 {
+				cancel()
+			}
+			mu.Unlock()
+			return 1
+		}}
+	}
+	err := r.do(ctx, tasks)
+	var ce *Cancelled
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *Cancelled", err)
+	}
+	if ce.Done != last.Done {
+		t.Fatalf("Cancelled.Done = %d, last progress Done = %d", ce.Done, last.Done)
+	}
+	if msg := ce.Error(); msg == "" || !errors.Is(ce, context.Canceled) {
+		t.Fatalf("Cancelled formatting/unwrap broken: %q", msg)
 	}
 }
 
@@ -233,13 +287,7 @@ func TestRunAllShape(t *testing.T) {
 // with the factory: every name KnownPolicy accepts must construct, and
 // rejected names must be the ones NewPolicy panics on.
 func TestKnownPolicyMatchesNewPolicy(t *testing.T) {
-	accepted := []string{
-		"autonuma", "autotiering", "tiering-0.8", "tpp", "nimble",
-		"multi-clock", "hemem", "hemem+", "memtis", "memtis-ns",
-		"memtis-nowarm", "memtis-vanilla", "memtis-hybrid", "static",
-		"all-fast", "all-capacity",
-	}
-	for _, name := range accepted {
+	for _, name := range AllPolicies {
 		if !KnownPolicy(name) {
 			t.Errorf("KnownPolicy(%q) = false", name)
 		}

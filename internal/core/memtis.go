@@ -15,6 +15,7 @@ package memtis
 
 import (
 	"memtis/internal/histogram"
+	"memtis/internal/obs"
 	"memtis/internal/pebs"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
@@ -127,8 +128,16 @@ type Policy struct {
 
 	samplesSinceAdapt uint64
 	samplesSinceCool  uint64
-	coolings          uint64
-	adaptations       uint64
+
+	// Registry-backed counters (machine-namespaced under Name()),
+	// bound at Attach; nil until then, so the public accessors
+	// nil-guard. Plain *uint64 increments — the machine is
+	// single-threaded.
+	coolings    *uint64
+	adaptations *uint64
+	samples     *uint64
+
+	trace *obs.Tracer
 
 	promo    []*vm.Page
 	demoCold []*vm.Page
@@ -158,15 +167,15 @@ type Policy struct {
 	skewEpoch   uint64
 
 	splitQueue  []*vm.Page
-	splits      uint64
-	dbgQueued   uint64
-	dbgBucketed uint64
-	dbgNs       uint64
-	dbgWindows  uint64
-	dbgRejCount uint64
-	dbgRejUtil  uint64
-	dbgRejU     uint64
-	dbgSeen     uint64
+	splits      *uint64
+	dbgQueued   *uint64
+	dbgBucketed *uint64
+	dbgNs       *uint64
+	dbgWindows  *uint64
+	dbgRejCount *uint64
+	dbgRejUtil  *uint64
+	dbgRejU     *uint64
+	dbgSeen     *uint64
 
 	backgroundNS uint64
 }
@@ -202,6 +211,21 @@ func (p *Policy) Attach(m *sim.Machine) {
 	rssHint := m.Cap.CapacityFrames()
 	p.cfg.fillDefaults(fastUnits, rssHint)
 	p.smp = pebs.NewSampler(p.cfg.Sampler)
+	p.trace = m.Cfg.Trace
+	p.smp.Trace = m.Cfg.Trace
+	g := m.Counters().Group(p.Name())
+	p.coolings = g.Counter("coolings")
+	p.adaptations = g.Counter("adaptations")
+	p.samples = g.Counter("samples")
+	p.splits = g.Counter("splits")
+	p.dbgQueued = g.Counter("split_queued")
+	p.dbgBucketed = g.Counter("split_bucketed")
+	p.dbgNs = g.Counter("split_ns_sum")
+	p.dbgWindows = g.Counter("split_windows")
+	p.dbgSeen = g.Counter("split_seen")
+	p.dbgRejCount = g.Counter("split_rej_samples")
+	p.dbgRejUtil = g.Counter("split_rej_util")
+	p.dbgRejU = g.Counter("split_rej_concentration")
 	p.th = histogram.Thresholds{Hot: 1, Warm: 1, Cold: 0}
 	p.bth = p.th
 	p.nextWake = p.cfg.KmigratedPeriodNS
@@ -226,11 +250,20 @@ func (p *Policy) BusyCores() float64 { return 0 }
 // Sampler exposes the PEBS controller for overhead reporting (§6.3.5).
 func (p *Policy) Sampler() *pebs.Sampler { return p.smp }
 
+// deref reads a registry cell that may not be bound yet (before
+// Attach the accessors report zero).
+func deref(c *uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	return *c
+}
+
 // Coolings returns the number of cooling events performed.
-func (p *Policy) Coolings() uint64 { return p.coolings }
+func (p *Policy) Coolings() uint64 { return deref(p.coolings) }
 
 // Splits returns the number of huge pages splintered.
-func (p *Policy) Splits() uint64 { return p.splits }
+func (p *Policy) Splits() uint64 { return deref(p.splits) }
 
 // Thresholds returns the current page-access-histogram thresholds.
 func (p *Policy) Thresholds() histogram.Thresholds { return p.th }
@@ -322,6 +355,7 @@ func (p *Policy) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 		tr.Page.PFlags |= flagScanRef
 	}
 	if _, ok := p.smp.Feed(vpn, write); ok {
+		*p.samples++
 		p.processSample(tr)
 	}
 	p.smp.MaybeAdjust(p.m.Now())
@@ -429,7 +463,10 @@ func (p *Policy) adaptThresholds() {
 		p.th.Warm = p.th.Hot
 		p.th.Cold = p.th.Hot - 1
 	}
-	p.adaptations++
+	*p.adaptations++
+	// Aux packs the new thresholds as bin indices (uint8 wraps the
+	// sentinel -1 to 255).
+	p.trace.Emit(obs.EvAdapt, 0, false, 0, uint64(uint8(p.th.Hot))<<8|uint64(uint8(p.th.Warm)))
 }
 
 // cool halves every page's access count, shifts both histograms one bin
@@ -437,7 +474,7 @@ func (p *Policy) adaptThresholds() {
 // skewness buckets (§4.2.2, §4.3.2). The scan cost is charged to
 // kmigrated's background budget.
 func (p *Policy) cool() {
-	p.coolings++
+	*p.coolings++
 	p.skewEpoch++
 	p.pageHist.Cool()
 	p.baseHist.Cool()
@@ -504,6 +541,7 @@ func (p *Policy) cool() {
 		}
 	})
 	p.backgroundNS += scanned*coolPageScanNS + subScanned*coolSubScanNS
+	p.trace.Emit(obs.EvCooling, 0, false, 0, scanned)
 	p.adaptThresholds()
 	p.tryCollapse()
 }
@@ -524,9 +562,9 @@ func (p *Policy) updateSkewness(pg *vm.Page) {
 		maxEffectiveSubpages = 64                // 12.5% of a huge page
 		minDominantHotness   = 8 * tier.SubPages // >= 8 samples on one subpage
 	)
-	p.dbgSeen++
+	*p.dbgSeen++
 	if pg.Count < minSamples {
-		p.dbgRejCount++
+		*p.dbgRejCount++
 		return
 	}
 	// The utilization threshold is the estimator's effective hot
@@ -559,11 +597,11 @@ func (p *Policy) updateSkewness(pg *vm.Page) {
 		lin += hf
 	}
 	if nz*100 > tier.SubPages*maxUtilPct {
-		p.dbgRejUtil++
+		*p.dbgRejUtil++
 		return
 	}
 	if u == 0 || sum == 0 {
-		p.dbgRejU++
+		*p.dbgRejU++
 		return
 	}
 	// Concentration gate: (sum H)^2 / sum(H^2) is the effective number
@@ -572,13 +610,13 @@ func (p *Policy) updateSkewness(pg *vm.Page) {
 	// dominant subpages. Splitting a uniformly hot page would only
 	// trade TLB reach for nothing, so demand real concentration.
 	if lin*lin/sum > maxEffectiveSubpages {
-		p.dbgRejU++
+		*p.dbgRejU++
 		return
 	}
 	// The dominant subpage must show repeated hits: post-cooling
 	// stragglers sampled once or twice are noise, not skew.
 	if maxSub < minDominantHotness {
-		p.dbgRejU++
+		*p.dbgRejU++
 		return
 	}
 	s := sum / float64(u*u)
@@ -589,7 +627,7 @@ func (p *Policy) updateSkewness(pg *vm.Page) {
 	}
 	pg.P1 = p.skewEpoch
 	p.skewBuckets[b] = append(p.skewBuckets[b], pg)
-	p.dbgBucketed++
+	*p.dbgBucketed++
 }
 
 // estimateSplitBenefit closes one estimation window (§4.3.1): if the
@@ -611,7 +649,7 @@ func (p *Policy) estimateSplitBenefit() {
 	// Split only on long-term trends (§4.3.1): candidates need skewness
 	// data from at least one cooling, so allocation-phase noise never
 	// triggers splintering.
-	if p.cfg.SplitDisabled || p.coolings < 1 || eHR-rHR < p.cfg.SplitBenefitMin {
+	if p.cfg.SplitDisabled || *p.coolings < 1 || eHR-rHR < p.cfg.SplitBenefitMin {
 		return
 	}
 	lFast := float64(p.m.Fast.LoadNS())
@@ -625,8 +663,8 @@ func (p *Policy) estimateSplitBenefit() {
 	if n < 1 {
 		n = 1
 	}
-	p.dbgNs += uint64(n)
-	p.dbgWindows++
+	*p.dbgNs += uint64(n)
+	*p.dbgWindows++
 	p.queueSplitCandidates(n)
 }
 
@@ -642,7 +680,7 @@ func (p *Policy) queueSplitCandidates(n int) {
 			}
 			pg.P1 = 0 // de-bucket
 			p.splitQueue = append(p.splitQueue, pg)
-			p.dbgQueued++
+			*p.dbgQueued++
 			n--
 		}
 	}
@@ -719,7 +757,7 @@ func (p *Policy) splitOne(pg *vm.Page) {
 		p.baseHist.Add(sp.Bin, 1)
 	}
 	p.backgroundNS += ns
-	p.splits++
+	*p.splits++
 }
 
 // freeTarget is the fast-tier free-space threshold in frames: the
@@ -957,15 +995,15 @@ func (p *Policy) DebugBaseHist() (bins [histogram.Bins]uint64, th histogram.Thre
 
 // DebugSplitStats exposes split pipeline counters for diagnostics.
 func (p *Policy) DebugSplitStats() (queued, executed uint64, queueLen int) {
-	return p.dbgQueued, p.splits, len(p.splitQueue)
+	return deref(p.dbgQueued), deref(p.splits), len(p.splitQueue)
 }
 
 // DebugSplitSupply exposes candidate-supply counters for diagnostics.
 func (p *Policy) DebugSplitSupply() (bucketed, nsSum, windows uint64) {
-	return p.dbgBucketed, p.dbgNs, p.dbgWindows
+	return deref(p.dbgBucketed), deref(p.dbgNs), deref(p.dbgWindows)
 }
 
 // DebugSplitRejects exposes per-gate rejection counters.
 func (p *Policy) DebugSplitRejects() (seen, rejCount, rejUtil, rejU uint64) {
-	return p.dbgSeen, p.dbgRejCount, p.dbgRejUtil, p.dbgRejU
+	return deref(p.dbgSeen), deref(p.dbgRejCount), deref(p.dbgRejUtil), deref(p.dbgRejU)
 }

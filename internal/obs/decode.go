@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// maxLineBytes bounds one trace line. Canonical lines are under 120
+// bytes; anything past this is corrupt input and fails cleanly instead
+// of growing the scanner buffer without bound.
+const maxLineBytes = 4096
+
+// Decoder reads a JSONL event trace. It is strict — an unknown event
+// name, trailing garbage, or an over-long/truncated line is an error,
+// never a panic — so corrupt traces are diagnosed instead of silently
+// skewing analysis.
+type Decoder struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewDecoder builds a decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 256), maxLineBytes)
+	return &Decoder{s: s}
+}
+
+// Next returns the next event, or io.EOF at a clean end of input.
+func (d *Decoder) Next() (Event, error) {
+	for d.s.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.s.Text())
+		if text == "" {
+			continue // blank lines are tolerated (trailing newline etc.)
+		}
+		e, err := ParseEvent(text)
+		if err != nil {
+			return Event{}, fmt.Errorf("obs: line %d: %w", d.line, err)
+		}
+		return e, nil
+	}
+	if err := d.s.Err(); err != nil {
+		return Event{}, fmt.Errorf("obs: line %d: %w", d.line+1, err)
+	}
+	return Event{}, io.EOF
+}
+
+// eventJSON is the wire layout (see AppendEvent).
+type eventJSON struct {
+	T     uint64 `json:"t"`
+	Ev    string `json:"ev"`
+	VPN   uint64 `json:"vpn"`
+	Huge  bool   `json:"huge"`
+	Bytes uint64 `json:"bytes"`
+	Aux   uint64 `json:"aux"`
+}
+
+// ParseEvent decodes one canonical trace line (without requiring the
+// trailing newline).
+func ParseEvent(line string) (Event, error) {
+	if len(line) > maxLineBytes {
+		return Event{}, fmt.Errorf("line longer than %d bytes", maxLineBytes)
+	}
+	dec := json.NewDecoder(strings.NewReader(line))
+	dec.DisallowUnknownFields()
+	var ej eventJSON
+	if err := dec.Decode(&ej); err != nil {
+		return Event{}, fmt.Errorf("bad event line: %w", err)
+	}
+	// Trailing content after the object (a second object, garbage) is
+	// corruption: one line must hold exactly one event.
+	if dec.More() {
+		return Event{}, fmt.Errorf("trailing data after event object")
+	}
+	k, ok := KindFromString(ej.Ev)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", ej.Ev)
+	}
+	return Event{TimeNS: ej.T, Kind: k, VPN: ej.VPN, Huge: ej.Huge, Bytes: ej.Bytes, Aux: ej.Aux}, nil
+}
+
+// ReadAll decodes an entire trace.
+func ReadAll(r io.Reader) ([]Event, error) {
+	d := NewDecoder(r)
+	var out []Event
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary bytes to the trace decoder. The contract
+// under test: the decoder never panics, always terminates, and every
+// event it does return re-encodes to a line it would accept again.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte(`{"t":1,"ev":"promotion","vpn":2,"huge":true,"bytes":3,"aux":4}` + "\n"))
+	f.Add([]byte(`{"t":0,"ev":"fault","vpn":0,"huge":false,"bytes":4096,"aux":62}` + "\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"t":1,"ev":"cooling"`))
+	f.Add([]byte(`{"t":1,"ev":"bogus","vpn":0,"huge":false,"bytes":0,"aux":0}`))
+	f.Add([]byte(strings.Repeat(`{"t":5,"ev":"shootdown","vpn":9,"huge":false,"bytes":0,"aux":0}`+"\n", 3)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		// One event per input line at most, so bounding the loop by
+		// len(data)+2 iterations proves termination.
+		for i := 0; i < len(data)+2; i++ {
+			e, err := d.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				// Errors are fine; the decoder just must not lie about
+				// recovery: after an error it stays usable or EOFs.
+				return
+			}
+			line := AppendEvent(nil, e)
+			back, perr := ParseEvent(strings.TrimSuffix(string(line), "\n"))
+			if perr != nil {
+				t.Fatalf("decoded event does not re-parse: %+v: %v", e, perr)
+			}
+			if back != e {
+				t.Fatalf("re-parse mismatch: %+v != %+v", back, e)
+			}
+		}
+		t.Fatal("decoder did not terminate within the input-size bound")
+	})
+}
+
+// FuzzEventRoundTrip builds event sequences from raw fuzz bytes,
+// encodes them through the JSONL sink, and requires the decoder to
+// return exactly the same sequence. Truncating the encoding must
+// produce an error on the cut line, never a panic or a fabricated
+// event.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}, 1<<30)
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0}, 17)
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		// Each event consumes 17 bytes of fuzz input: kind selector,
+		// huge flag, then time/vpn/bytes-ish material (aux derived too).
+		var events []Event
+		for len(data) >= 17 && len(events) < 64 {
+			e := Event{
+				Kind:   Kind(data[0] % uint8(numKinds)),
+				Huge:   data[1]&1 == 1,
+				TimeNS: binary.LittleEndian.Uint64(data[2:10]),
+				VPN:    binary.LittleEndian.Uint64(data[9:17]),
+			}
+			e.Bytes = e.TimeNS >> 3
+			e.Aux = e.VPN >> 5
+			events = append(events, e)
+			data = data[17:]
+		}
+		var buf bytes.Buffer
+		sink := NewJSONL(&buf)
+		for _, e := range events {
+			sink.Emit(e)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("clean trace failed to decode: %v", err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("decoded %d events, wrote %d", len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+			}
+		}
+		// Truncation: decoding a prefix must never panic and never
+		// yield more events than were fully written before the cut.
+		enc := buf.Bytes()
+		if cut < 0 {
+			cut = -cut
+		}
+		if len(enc) > 0 {
+			cut %= len(enc)
+			part, perr := ReadAll(bytes.NewReader(enc[:cut]))
+			if perr == nil && len(part) > len(events) {
+				t.Fatalf("truncated trace grew events: %d > %d", len(part), len(events))
+			}
+			for i := range part {
+				if part[i] != events[i] {
+					t.Fatalf("truncated prefix event %d diverged", i)
+				}
+			}
+		}
+	})
+}

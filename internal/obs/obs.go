@@ -1,0 +1,158 @@
+// Package obs is the simulator's observability layer: a typed event
+// stream and a counter/gauge registry, both designed to cost nothing
+// when disabled.
+//
+// Events are emitted from the rare paths of the machine model (demand
+// faults, migrations, splits, collapses, shootdowns, cooling, sampler
+// adjustments) — never from the per-access hot path — and are stamped
+// with the machine's *virtual* clock, so a fixed-seed run produces a
+// byte-identical trace regardless of wall-clock scheduling or worker
+// count. A nil *Tracer is valid and every method on it is a no-op, so
+// emit sites need no guards.
+//
+// Counters and gauges are plain uint64 cells handed out by a Registry;
+// the machine is single-threaded, so no atomics are involved. Policies
+// namespace their metrics under their Name() via Registry.Group.
+package obs
+
+// Kind enumerates the event taxonomy (see DESIGN.md §5 for the meaning
+// of each event's Aux payload).
+type Kind uint8
+
+const (
+	// EvDemandFault: first touch mapped a page. Aux = fault cost (ns).
+	EvDemandFault Kind = iota
+	// EvPromotion: a page migrated into the fast tier.
+	EvPromotion
+	// EvDemotion: a page migrated out of the fast tier.
+	EvDemotion
+	// EvSplit: a huge page was splintered. Aux = subpage frames
+	// reclaimed as bloat.
+	EvSplit
+	// EvCollapse: 512 base pages coalesced into a huge page.
+	EvCollapse
+	// EvShootdown: a TLB shootdown broadcast by migration, split or
+	// collapse (VM-level accounting; one per remap operation).
+	EvShootdown
+	// EvTLBInvalidate: one translation dropped from the TLB model.
+	EvTLBInvalidate
+	// EvTLBFlush: both sub-TLBs emptied.
+	EvTLBFlush
+	// EvCooling: a policy halved its access counters. Aux = pages
+	// scanned.
+	EvCooling
+	// EvAdapt: hot/warm thresholds re-derived (Algorithm 1).
+	// Aux = hot<<8 | warm (histogram bin indices).
+	EvAdapt
+	// EvSamplerAdjust: the PEBS period controller changed the load
+	// period. Aux = new period.
+	EvSamplerAdjust
+	// EvSamplerOverflow: the controller wanted to throttle further but
+	// the period is pinned at MaxPeriod. Aux = period.
+	EvSamplerOverflow
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvDemandFault:     "fault",
+	EvPromotion:       "promotion",
+	EvDemotion:        "demotion",
+	EvSplit:           "split",
+	EvCollapse:        "collapse",
+	EvShootdown:       "shootdown",
+	EvTLBInvalidate:   "tlb_invalidate",
+	EvTLBFlush:        "tlb_flush",
+	EvCooling:         "cooling",
+	EvAdapt:           "adapt",
+	EvSamplerAdjust:   "sampler_adjust",
+	EvSamplerOverflow: "sampler_overflow",
+}
+
+// String returns the stable wire name of the kind (used in JSONL).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString resolves a wire name back to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns every defined kind, in wire order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Event is one observation. TimeNS is the machine's virtual clock at
+// emission; VPN is the base-page number of the page involved (0 when
+// the event is not page-scoped); Bytes is the payload moved or mapped;
+// Aux carries kind-specific detail (see the Kind constants).
+type Event struct {
+	TimeNS uint64
+	Kind   Kind
+	VPN    uint64
+	Huge   bool
+	Bytes  uint64
+	Aux    uint64
+}
+
+// Sink receives emitted events. Sinks are called synchronously from
+// the single-threaded machine; they must not retain the event past the
+// call unless they copy it (Event is a value type, so assignment
+// copies).
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer stamps events with the bound virtual clock and forwards them
+// to its sink. The zero cost of disabled tracing is structural: emit
+// sites live only on rare paths, and a nil *Tracer short-circuits in
+// the first instruction of Emit.
+//
+// A Tracer belongs to exactly one machine: the machine binds its clock
+// at construction. Matrix runners must create one tracer per cell.
+type Tracer struct {
+	sink  Sink
+	clock func() uint64
+}
+
+// NewTracer builds a tracer over sink. The clock reads zero until a
+// machine binds its own via BindClock.
+func NewTracer(sink Sink) *Tracer {
+	return &Tracer{sink: sink}
+}
+
+// BindClock installs the virtual-time source (called by sim.NewMachine;
+// a later bind replaces an earlier one, so a tracer must not be shared
+// between machines).
+func (t *Tracer) BindClock(clock func() uint64) {
+	if t != nil {
+		t.clock = clock
+	}
+}
+
+// Emit forwards one event, stamped with the current virtual time.
+// Safe on a nil receiver (no-op).
+func (t *Tracer) Emit(k Kind, vpn uint64, huge bool, bytes, aux uint64) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	var now uint64
+	if t.clock != nil {
+		now = t.clock()
+	}
+	t.sink.Emit(Event{TimeNS: now, Kind: k, VPN: vpn, Huge: huge, Bytes: bytes, Aux: aux})
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no wire name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate wire name %q", name)
+		}
+		seen[name] = true
+		back, ok := KindFromString(name)
+		if !ok || back != k {
+			t.Fatalf("KindFromString(%q) = %v, %v; want %v", name, back, ok, k)
+		}
+	}
+	if _, ok := KindFromString("no-such-event"); ok {
+		t.Fatal("KindFromString accepted an unknown name")
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(EvPromotion, 1, false, 2, 3) // must not panic
+	tr.BindClock(func() uint64 { return 9 })
+	// A tracer without a sink is equally inert.
+	NewTracer(nil).Emit(EvDemotion, 1, true, 2, 3)
+}
+
+func TestTracerStampsVirtualTime(t *testing.T) {
+	ring := NewRing(0)
+	tr := NewTracer(ring)
+	now := uint64(0)
+	tr.BindClock(func() uint64 { return now })
+	tr.Emit(EvDemandFault, 42, true, 1<<21, 7)
+	now = 1234
+	tr.Emit(EvPromotion, 43, false, 4096, 0)
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	want0 := Event{TimeNS: 0, Kind: EvDemandFault, VPN: 42, Huge: true, Bytes: 1 << 21, Aux: 7}
+	want1 := Event{TimeNS: 1234, Kind: EvPromotion, VPN: 43, Bytes: 4096}
+	if evs[0] != want0 || evs[1] != want1 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(0); i < 7; i++ {
+		r.Emit(Event{TimeNS: i})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.TimeNS != uint64(4+i) {
+			t.Fatalf("ring order wrong: %+v", evs)
+		}
+	}
+	if n := r.CountByKind()[EvDemandFault]; n != 3 {
+		t.Fatalf("CountByKind = %d", n)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{TimeNS: 0, Kind: EvDemandFault, VPN: 0, Huge: false, Bytes: 4096, Aux: 62},
+		{TimeNS: 18446744073709551615, Kind: EvSamplerOverflow, VPN: 1 << 40, Huge: true, Bytes: 0, Aux: 140},
+		{TimeNS: 5, Kind: EvCooling, Aux: 99},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestJSONLByteStable(t *testing.T) {
+	e := Event{TimeNS: 12, Kind: EvPromotion, VPN: 34, Huge: true, Bytes: 56, Aux: 78}
+	want := `{"t":12,"ev":"promotion","vpn":34,"huge":true,"bytes":56,"aux":78}` + "\n"
+	if got := string(AppendEvent(nil, e)); got != want {
+		t.Fatalf("wire format changed:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestDecoderRejectsCorruptLines(t *testing.T) {
+	bad := []string{
+		`{"t":1,"ev":"promotion","vpn":1,"huge":false,"bytes":0,"aux":0}{"t":2}`, // two objects
+		`{"t":1,"ev":"warpdrive","vpn":1,"huge":false,"bytes":0,"aux":0}`,        // unknown kind
+		`{"t":-1,"ev":"promotion","vpn":1,"huge":false,"bytes":0,"aux":0}`,       // negative uint
+		`{"t":1,"ev":"promotion","vpn":1,"huge":false,"bytes":0,"aux":0,"x":1}`,  // unknown field
+		`{"t":1,"ev":"promotion"`, // truncated
+		`not json at all`,
+		`[1,2,3]`,
+		strings.Repeat("a", maxLineBytes+1),
+	}
+	for _, line := range bad {
+		if _, err := ParseEvent(line); err == nil {
+			t.Errorf("ParseEvent accepted corrupt line %.60q", line)
+		}
+	}
+	// A trace with a corrupt middle line fails with a line number.
+	in := `{"t":1,"ev":"cooling","vpn":0,"huge":false,"bytes":0,"aux":0}` + "\nbroken\n"
+	d := NewDecoder(strings.NewReader(in))
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("first line: %v", err)
+	}
+	if _, err := d.Next(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestDecoderToleratesBlankLinesAndEOF(t *testing.T) {
+	in := "\n" + `{"t":1,"ev":"split","vpn":512,"huge":true,"bytes":2097152,"aux":3}` + "\n\n"
+	d := NewDecoder(strings.NewReader(in))
+	e, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != EvSplit || e.Aux != 3 {
+		t.Fatalf("event = %+v", e)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("memtis/coolings")
+	*c += 3
+	if *r.Counter("memtis/coolings") != 3 {
+		t.Fatal("counter cell not shared across lookups")
+	}
+	g := r.Group("tpp")
+	*g.Counter("promotions") = 7
+	*g.Gauge("thresh") = 11
+	if v, ok := r.Value("tpp/promotions"); !ok || v != 7 {
+		t.Fatalf("Value = %d, %v", v, ok)
+	}
+	snap := r.Snapshot()
+	wantNames := []string{"memtis/coolings", "tpp/promotions", "tpp/thresh"}
+	if len(snap) != len(wantNames) {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for i, m := range snap {
+		if m.Name != wantNames[i] {
+			t.Fatalf("snapshot order: %+v", snap)
+		}
+	}
+	if snap[2].Kind != GaugeKind || snap[2].Kind.String() != "gauge" {
+		t.Fatalf("gauge kind lost: %+v", snap[2])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("tpp/promotions")
+}

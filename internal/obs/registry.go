@@ -1,0 +1,104 @@
+package obs
+
+import "sort"
+
+// MetricKind distinguishes monotonically increasing counters from
+// set-anywhere gauges. The registry does not enforce monotonicity —
+// both are plain uint64 cells — but the kind is part of the snapshot
+// so consumers can tell them apart.
+type MetricKind uint8
+
+const (
+	CounterKind MetricKind = iota
+	GaugeKind
+)
+
+// String returns "counter" or "gauge".
+func (k MetricKind) String() string {
+	if k == GaugeKind {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Metric is one snapshot entry.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value uint64
+}
+
+// Registry hands out named uint64 cells. The machine is single-
+// threaded, so increments are plain `*c++` — no atomics, no locks;
+// that is what makes registry-backed counters free enough to live in
+// per-sample policy code. Metric names are flat strings; policies
+// prefix theirs with their Name() via Group.
+type Registry struct {
+	cells map[string]*cell
+}
+
+type cell struct {
+	kind MetricKind
+	v    uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cells: make(map[string]*cell)}
+}
+
+func (r *Registry) get(name string, kind MetricKind) *uint64 {
+	c := r.cells[name]
+	if c == nil {
+		c = &cell{kind: kind}
+		r.cells[name] = c
+	} else if c.kind != kind {
+		panic("obs: metric " + name + " registered as both counter and gauge")
+	}
+	return &c.v
+}
+
+// Counter returns the cell for a cumulative counter, creating it at
+// zero on first use. Repeated calls with the same name return the same
+// cell.
+func (r *Registry) Counter(name string) *uint64 { return r.get(name, CounterKind) }
+
+// Gauge returns the cell for a gauge (last-value semantics).
+func (r *Registry) Gauge(name string) *uint64 { return r.get(name, GaugeKind) }
+
+// Value reads a metric by name.
+func (r *Registry) Value(name string) (uint64, bool) {
+	c := r.cells[name]
+	if c == nil {
+		return 0, false
+	}
+	return c.v, true
+}
+
+// Snapshot returns every metric sorted by name — a deterministic order
+// regardless of registration order, so snapshots embedded in results
+// survive reflect.DeepEqual-based determinism tests.
+func (r *Registry) Snapshot() []Metric {
+	out := make([]Metric, 0, len(r.cells))
+	for name, c := range r.cells {
+		out = append(out, Metric{Name: name, Kind: c.kind, Value: c.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Group namespaces metrics under prefix + "/". Policies use
+// reg.Group(p.Name()) so two policies never collide.
+func (r *Registry) Group(prefix string) Group { return Group{r: r, prefix: prefix + "/"} }
+
+// Group is a namespaced view of a Registry.
+type Group struct {
+	r      *Registry
+	prefix string
+}
+
+// Counter returns the namespaced counter cell.
+func (g Group) Counter(name string) *uint64 { return g.r.Counter(g.prefix + name) }
+
+// Gauge returns the namespaced gauge cell.
+func (g Group) Gauge(name string) *uint64 { return g.r.Gauge(g.prefix + name) }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+)
+
+// JSONL is a sink that writes one JSON object per event, one event per
+// line. The encoding is hand-formatted with a fixed field order
+// ({"t","ev","vpn","huge","bytes","aux"}) rather than produced by
+// encoding/json, so traces are byte-stable: the same event sequence
+// always serialises to the same bytes, which is what the golden-trace
+// tests diff.
+type JSONL struct {
+	w   *bufio.Writer
+	buf []byte
+	// err records the first write error; subsequent emits are dropped.
+	// The single-threaded machine cannot usefully recover mid-run, so
+	// errors are sticky and surfaced by Flush.
+	err error
+}
+
+// NewJSONL wraps w in a buffered JSONL sink. Call Flush when the run
+// finishes.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONL) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendEvent(s.buf[:0], e)
+	_, s.err = s.w.Write(s.buf)
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONL) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// AppendEvent appends e's canonical JSONL line (with trailing newline)
+// to b. It is the single source of truth for the wire format; the
+// round-trip fuzz target holds it and ParseEvent together.
+func AppendEvent(b []byte, e Event) []byte {
+	b = append(b, `{"t":`...)
+	b = appendUint(b, e.TimeNS)
+	b = append(b, `,"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","vpn":`...)
+	b = appendUint(b, e.VPN)
+	b = append(b, `,"huge":`...)
+	if e.Huge {
+		b = append(b, "true"...)
+	} else {
+		b = append(b, "false"...)
+	}
+	b = append(b, `,"bytes":`...)
+	b = appendUint(b, e.Bytes)
+	b = append(b, `,"aux":`...)
+	b = appendUint(b, e.Aux)
+	return append(b, "}\n"...)
+}
+
+// appendUint is strconv.AppendUint(b, v, 10) without pulling strconv's
+// table variants into the hot emit path.
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// Ring is an in-memory sink keeping the last Cap events (all events
+// when Cap is 0). It is the test-friendly sink: cheap, allocation-
+// bounded, and directly inspectable.
+type Ring struct {
+	Cap    int
+	events []Event
+	head   int // next overwrite position when full
+	full   bool
+}
+
+// NewRing builds a ring sink bounded to capacity events (0 = unbounded).
+func NewRing(capacity int) *Ring {
+	return &Ring{Cap: capacity}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	if r.Cap <= 0 {
+		r.events = append(r.events, e)
+		return
+	}
+	if len(r.events) < r.Cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.head] = e
+	r.head = (r.head + 1) % r.Cap
+	r.full = true
+}
+
+// Events returns the retained events in emission order.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.head:]...)
+	out = append(out, r.events[:r.head]...)
+	return out
+}
+
+// Len returns how many events are retained.
+func (r *Ring) Len() int { return len(r.events) }
+
+// CountByKind tallies retained events per kind.
+func (r *Ring) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range r.Events() {
+		m[e.Kind]++
+	}
+	return m
+}

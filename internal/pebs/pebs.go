@@ -7,6 +7,8 @@
 // describes.
 package pebs
 
+import "memtis/internal/obs"
+
 // Sample is one PEBS record: the virtual page number of the accessed
 // address plus the access kind.
 type Sample struct {
@@ -54,6 +56,10 @@ type Sampler struct {
 	storePeriod uint64
 	loadCtr     uint64
 	storeCtr    uint64
+
+	// Trace receives sampler_adjust/sampler_overflow events from the
+	// period controller. Set by the owning policy at Attach.
+	Trace *obs.Tracer
 
 	samples     uint64 // total samples emitted
 	spentNS     uint64 // total processing time
@@ -145,11 +151,20 @@ func (s *Sampler) MaybeAdjust(now uint64) {
 	s.sumCPU += s.emaCPU
 	s.nCPU++
 	// Hysteresis: only act when the EMA leaves the dead band.
+	prev := s.loadPeriod
 	switch {
 	case s.emaCPU > s.cfg.CPUBudget+s.cfg.Hysteresis:
 		s.setLoadPeriod(s.loadPeriod + maxu(s.loadPeriod/4, 50))
+		if s.loadPeriod == prev {
+			// Wanted to throttle but the period is pinned at MaxPeriod:
+			// ksampled is over budget and cannot back off further.
+			s.Trace.Emit(obs.EvSamplerOverflow, 0, false, 0, s.loadPeriod)
+		}
 	case s.emaCPU < s.cfg.CPUBudget-s.cfg.Hysteresis && s.loadPeriod > s.cfg.MinPeriod:
 		s.setLoadPeriod(s.loadPeriod - maxu(s.loadPeriod/8, 25))
+	}
+	if s.loadPeriod != prev {
+		s.Trace.Emit(obs.EvSamplerAdjust, 0, false, 0, s.loadPeriod)
 	}
 	s.adjustments++
 	s.winSamples = 0

@@ -1,0 +1,140 @@
+// Cross-policy conformance suite: every policy the bench factory can
+// construct is run through a canned workload behind a probe that
+// asserts the sim.Policy contract at each callback. The suite lives in
+// an external test package so it can use internal/bench's factory
+// (bench imports policy, so the plain package would be a cycle); a
+// newly registered policy is picked up automatically via
+// bench.AllPolicies.
+package policy_test
+
+import (
+	"testing"
+
+	"memtis/internal/bench"
+	"memtis/internal/policy"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+	"memtis/internal/workload"
+)
+
+// maxStallNS bounds what one OnAccess may add to the critical path:
+// two huge-page sync migrations (a demote-to-make-room plus the
+// promotion) with shootdowns and in-fault bookkeeping, plus the
+// hint-fault service itself, rounded up. A policy exceeding this is
+// stalling the application on work that belongs in the background.
+const maxStallNS = 2*(vm.MigrateHugeNS+vm.ShootdownNS+policy.SyncExtraNS) +
+	vm.HugeFaultNS + policy.HintFaultNS + 100_000
+
+// probe wraps a policy and asserts the contract on every callback:
+// BackgroundNS never decreases, OnAccess stalls are bounded, PlaceNew
+// never targets a tier that cannot hold the page, and a reported hot
+// set never exceeds the resident set.
+type probe struct {
+	t     *testing.T
+	inner sim.Policy
+	m     *sim.Machine
+
+	lastBG   uint64
+	accesses uint64
+}
+
+func (p *probe) Name() string { return p.inner.Name() }
+
+func (p *probe) Attach(m *sim.Machine) {
+	p.m = m
+	p.inner.Attach(m)
+}
+
+func (p *probe) PlaceNew(huge bool, vpn uint64) tier.ID {
+	id := p.inner.PlaceNew(huge, vpn)
+	// Pinning baselines (all-fast, all-capacity) direct every page at
+	// one tier by design and lean on the VM's documented overflow
+	// fallback; the full-tier contract is for adaptive policies.
+	if st, ok := p.inner.(*policy.Static); ok && st.Pin != tier.NoTier {
+		return id
+	}
+	need := uint64(1)
+	if huge {
+		need = tier.SubPages
+	}
+	switch id {
+	case tier.NoTier:
+	case tier.FastTier:
+		if free := p.m.Fast.FreeFrames(); free < need {
+			p.t.Errorf("%s: PlaceNew targeted the fast tier with %d free frames (need %d)",
+				p.Name(), free, need)
+		}
+	case tier.CapacityTier:
+		if free := p.m.Cap.FreeFrames(); free < need {
+			p.t.Errorf("%s: PlaceNew targeted the capacity tier with %d free frames (need %d)",
+				p.Name(), free, need)
+		}
+	default:
+		p.t.Errorf("%s: PlaceNew returned unknown tier %v", p.Name(), id)
+	}
+	return id
+}
+
+func (p *probe) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
+	stall := p.inner.OnAccess(tr, vpn, write)
+	if stall > maxStallNS {
+		p.t.Errorf("%s: OnAccess stalled the app %d ns (bound %d)", p.Name(), stall, uint64(maxStallNS))
+	}
+	p.accesses++
+	if p.accesses%1024 == 0 {
+		p.check("OnAccess")
+	}
+	return stall
+}
+
+func (p *probe) Tick(now uint64) {
+	p.inner.Tick(now)
+	p.check("Tick")
+}
+
+func (p *probe) BackgroundNS() uint64 { return p.inner.BackgroundNS() }
+func (p *probe) BusyCores() float64   { return p.inner.BusyCores() }
+
+func (p *probe) check(where string) {
+	if bg := p.inner.BackgroundNS(); bg < p.lastBG {
+		p.t.Errorf("%s: BackgroundNS went backwards in %s: %d -> %d", p.Name(), where, p.lastBG, bg)
+	} else {
+		p.lastBG = bg
+	}
+	if bc := p.inner.BusyCores(); bc < 0 {
+		p.t.Errorf("%s: BusyCores = %v", p.Name(), bc)
+	}
+	if hr, ok := p.inner.(sim.HotSetReporter); ok {
+		hot, warm, cold := hr.HotSet()
+		rss := p.m.AS.RSSBytes()
+		// Slack for in-flight split/collapse histogram bookkeeping.
+		const slack = 2 * tier.HugePageSize
+		if hot > rss+slack || hot+warm+cold > rss+slack {
+			p.t.Errorf("%s: hot set exceeds RSS in %s: hot=%d warm=%d cold=%d rss=%d",
+				p.Name(), where, hot, warm, cold, rss)
+		}
+	}
+}
+
+// TestPolicyConformance runs every registered policy over the silo
+// workload (huge and base pages, allocation churn via FreeRegion) at a
+// constrained 1:8 ratio, with the probe asserting the contract
+// throughout the run.
+func TestPolicyConformance(t *testing.T) {
+	spec := workload.MustNew("silo").Spec()
+	cfg := bench.DefaultConfig()
+	cfg.Accesses = 150_000
+	for _, name := range bench.AllPolicies {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			mc := bench.MachineFor(spec, bench.Ratio1to8, name, cfg)
+			p := &probe{t: t, inner: bench.NewPolicy(name)}
+			res := sim.Run(mc, p, workload.MustNew("silo"), cfg.Accesses)
+			if res.Accesses != cfg.Accesses {
+				t.Errorf("ran %d accesses, want %d", res.Accesses, cfg.Accesses)
+			}
+			p.check("final")
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"memtis/internal/obs"
 	"memtis/internal/pebs"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
@@ -30,7 +31,8 @@ type HeMem struct {
 	hand     int
 	reserve  float64
 
-	overAllocBytes uint64
+	overAllocBytes *uint64 // registry counter, bound at Attach
+	coolings       *uint64
 	nextWake       uint64
 	wakeEvery      uint64
 }
@@ -60,6 +62,10 @@ func (h *HeMem) Attach(m *sim.Machine) {
 		CostNS:      160,
 	})
 	h.nextWake = h.wakeEvery
+	h.smp.Trace = m.Cfg.Trace
+	g := h.Counters()
+	h.overAllocBytes = g.Counter("overalloc_bytes")
+	h.coolings = g.Counter("coolings")
 }
 
 // BusyCores implements sim.Policy: the polling thread spins on a core
@@ -68,13 +74,18 @@ func (h *HeMem) BusyCores() float64 { return 1.0 }
 
 // OverAllocBytes reports fast-tier bytes consumed by small allocations
 // (Table 3).
-func (h *HeMem) OverAllocBytes() uint64 { return h.overAllocBytes }
+func (h *HeMem) OverAllocBytes() uint64 {
+	if h.overAllocBytes == nil {
+		return 0
+	}
+	return *h.overAllocBytes
+}
 
 // PlaceNew implements sim.Policy: small allocations (anything not
 // THP-backed) always go to the fast tier.
 func (h *HeMem) PlaceNew(huge bool, vpn uint64) tier.ID {
 	if !huge && h.M.Fast.FreeFrames() > 0 {
-		h.overAllocBytes += tier.BasePageSize
+		*h.overAllocBytes += tier.BasePageSize
 		return tier.FastTier
 	}
 	return tier.NoTier
@@ -121,6 +132,8 @@ func (h *HeMem) sample(pg *vm.Page) {
 // coolAll halves every page's counter — HeMem's global cooling, which
 // fires whenever any single page saturates.
 func (h *HeMem) coolAll() {
+	*h.coolings++
+	h.Trace().Emit(obs.EvCooling, 0, false, 0, uint64(len(h.Registry)))
 	h.hotBytes = 0
 	for _, pg := range h.Registry {
 		if pg.Dead() {

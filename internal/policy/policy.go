@@ -8,6 +8,7 @@
 package policy
 
 import (
+	"memtis/internal/obs"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
 	"memtis/internal/vm"
@@ -45,6 +46,53 @@ type Base struct {
 	rateInit   bool
 	rateLastNS uint64
 	rateTokens float64
+
+	mc *migCounters
+}
+
+// migCounters are the migration admission/rejection counters every
+// baseline reports through the shared MigrateSync/MigrateAsync choke
+// points (TierBPF's key diagnostic signal: how much migration the
+// policy *wanted* vs. what the rate limiter and tier capacity let
+// through). Cells live in the machine registry under the policy's
+// name.
+type migCounters struct {
+	syncPages    *uint64
+	syncBytes    *uint64
+	syncRejRate  *uint64 // rejected by the 256MB/s token bucket
+	syncRejSpace *uint64 // rejected because the destination tier is full
+	asyncPages   *uint64
+	asyncBytes   *uint64
+	asyncRej     *uint64
+}
+
+// Counters returns the policy-namespaced metric group (prefix =
+// b.M.Pol.Name()). Valid after Attach.
+func (b *Base) Counters() obs.Group {
+	return b.M.Counters().Group(b.M.Pol.Name())
+}
+
+// Trace returns the machine's tracer; emitting on it is always safe
+// (nil when tracing is disabled).
+func (b *Base) Trace() *obs.Tracer { return b.M.Cfg.Trace }
+
+// mig lazily binds the shared migration counters. Lazy because Attach
+// is often shadowed by the embedding policy, and because b.M.Pol (the
+// namespace) is only set once the machine is constructed.
+func (b *Base) mig() *migCounters {
+	if b.mc == nil {
+		g := b.Counters()
+		b.mc = &migCounters{
+			syncPages:    g.Counter("migrate_sync_pages"),
+			syncBytes:    g.Counter("migrate_sync_bytes"),
+			syncRejRate:  g.Counter("migrate_sync_rejected_rate"),
+			syncRejSpace: g.Counter("migrate_sync_rejected_space"),
+			asyncPages:   g.Counter("migrate_async_pages"),
+			asyncBytes:   g.Counter("migrate_async_bytes"),
+			asyncRej:     g.Counter("migrate_async_rejected"),
+		}
+	}
+	return b.mc
 }
 
 // syncRateBPS is the critical-path migration budget in bytes/second.
@@ -103,22 +151,31 @@ func (b *Base) Compact() {
 // application experiences (used by fault-handler promotion paths).
 // Subject to the kernel-style migration rate limit.
 func (b *Base) MigrateSync(pg *vm.Page, dst tier.ID) (uint64, bool) {
+	mc := b.mig()
 	if !b.allowSync(pg.Bytes()) {
+		*mc.syncRejRate++
 		return 0, false
 	}
 	ns, ok := b.M.AS.Migrate(pg, dst)
 	if !ok {
+		*mc.syncRejSpace++
 		return 0, false
 	}
+	*mc.syncPages += pg.Units()
+	*mc.syncBytes += pg.Bytes()
 	return ns + SyncExtraNS, true
 }
 
 // MigrateAsync migrates in the background, charging the daemon budget.
 func (b *Base) MigrateAsync(pg *vm.Page, dst tier.ID) bool {
+	mc := b.mig()
 	ns, ok := b.M.AS.Migrate(pg, dst)
 	if !ok {
+		*mc.asyncRej++
 		return false
 	}
+	*mc.asyncPages += pg.Units()
+	*mc.asyncBytes += pg.Bytes()
 	b.BgNS += ns
 	return true
 }

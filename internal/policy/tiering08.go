@@ -22,6 +22,7 @@ type Tiering08 struct {
 	promoBytes uint64
 	lastAdapt  uint64
 	targetBPS  float64 // promotion-rate target (bytes/sec of virtual time)
+	threshG    *uint64 // registry gauge mirroring threshNS
 
 	hand    int
 	reserve float64
@@ -92,6 +93,10 @@ func (t *Tiering08) adapt(now uint64) {
 	case rate < t.targetBPS*0.8 && t.threshNS < 10_000_000_000:
 		t.threshNS += t.threshNS / 4
 	}
+	if t.threshG == nil {
+		t.threshG = t.Counters().Gauge("thresh_ns")
+	}
+	*t.threshG = t.threshNS
 }
 
 // demote keeps head-room free for allocations and promotions, evicting

@@ -1,0 +1,72 @@
+// Hot-loop benchmarks for the machine core. These are the perf
+// baseline future PRs compare against: BenchmarkMachineAccess is the
+// bare translate-charge-account path with no policy attached,
+// BenchmarkMachineAccessMemtis adds the full MEMTIS policy, and
+// BenchmarkMachineAccessTraced measures the event-tracing overhead
+// with a sink attached (the disabled-tracing cost is what
+// BenchmarkMachineAccess itself carries: a nil check on rare paths).
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	memtis "memtis/internal/core"
+	"memtis/internal/obs"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+)
+
+// benchMachine builds a machine with a pre-reserved, pre-faulted
+// region so the measured loop is steady-state accesses, not demand
+// paging.
+func benchMachine(pol sim.Policy, tr *obs.Tracer) (*sim.Machine, []uint64) {
+	cfg := sim.Config{
+		FastBytes: 16 << 20,
+		CapBytes:  96 << 20,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      7,
+		Trace:     tr,
+	}
+	m := sim.NewMachine(cfg, pol)
+	r := m.Reserve(64 << 20)
+	for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn += tier.SubPages {
+		m.Access(vpn, true)
+	}
+	// Zipf-ish access pattern over the region, precomputed so RNG cost
+	// stays out of the measured loop.
+	rng := rand.New(rand.NewSource(11))
+	z := rand.NewZipf(rng, 1.2, 1, r.Pages-1)
+	vpns := make([]uint64, 1<<16)
+	for i := range vpns {
+		vpns[i] = r.BaseVPN + z.Uint64()
+	}
+	return m, vpns
+}
+
+func runAccessLoop(b *testing.B, m *sim.Machine, vpns []uint64) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(vpns[i&(len(vpns)-1)], i&7 == 0)
+	}
+}
+
+func BenchmarkMachineAccess(b *testing.B) {
+	m, vpns := benchMachine(nil, nil)
+	runAccessLoop(b, m, vpns)
+}
+
+func BenchmarkMachineAccessMemtis(b *testing.B) {
+	m, vpns := benchMachine(memtis.New(memtis.Config{}), nil)
+	runAccessLoop(b, m, vpns)
+}
+
+func BenchmarkMachineAccessTraced(b *testing.B) {
+	// A bounded ring keeps memory flat over b.N while still paying the
+	// full emit cost on every traced event.
+	tr := obs.NewTracer(obs.NewRing(4096))
+	m, vpns := benchMachine(memtis.New(memtis.Config{}), tr)
+	runAccessLoop(b, m, vpns)
+}

@@ -16,6 +16,7 @@ package sim
 import (
 	"math/rand"
 
+	"memtis/internal/obs"
 	"memtis/internal/tier"
 	"memtis/internal/tlb"
 	"memtis/internal/vm"
@@ -65,6 +66,11 @@ type Config struct {
 	TickNS    uint64
 	RecordNS  uint64 // series sampling period (0 disables)
 	Seed      int64
+	// Trace, when non-nil, receives the machine's event stream
+	// (promotions, faults, splits, ...; see package obs). The machine
+	// binds its virtual clock to the tracer, so a tracer serves exactly
+	// one machine. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -106,6 +112,9 @@ type Result struct {
 	RSSPeak      uint64
 	RSSFinal     uint64
 	Series       []SeriesPoint
+	// Counters is the machine registry's snapshot (sorted by name):
+	// policy-reported counters and gauges, namespaced per policy.
+	Counters []obs.Metric
 }
 
 // Machine is one simulated two-tier host running a single workload
@@ -118,6 +127,7 @@ type Machine struct {
 	TLB  *tlb.TLB
 	Pol  Policy
 	Rand *rand.Rand
+	reg  *obs.Registry
 
 	now      uint64
 	accesses uint64
@@ -157,6 +167,12 @@ func NewMachine(cfg Config, pol Policy) *Machine {
 		TLB:  tlb.New(cfg.TLB),
 		Pol:  pol,
 		Rand: rand.New(rand.NewSource(cfg.Seed + 7)),
+		reg:  obs.NewRegistry(),
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.BindClock(func() uint64 { return m.now })
+		m.AS.Trace = cfg.Trace
+		m.TLB.Trace = cfg.Trace
 	}
 	m.nextTick = cfg.TickNS
 	if cfg.RecordNS > 0 {
@@ -177,6 +193,14 @@ func (pp policyPlacer) PlaceNew(huge bool, vpn uint64) tier.ID { return pp.p.Pla
 
 // Now returns the current virtual time in nanoseconds.
 func (m *Machine) Now() uint64 { return m.now }
+
+// Counters returns the machine's metric registry. Policies grab their
+// namespaced cells once, at Attach time.
+func (m *Machine) Counters() *obs.Registry { return m.reg }
+
+// Tracer returns the machine's event tracer (nil when tracing is off);
+// emitting on the returned value is always safe.
+func (m *Machine) Tracer() *obs.Tracer { return m.Cfg.Trace }
 
 // Accesses returns the number of accesses issued so far.
 func (m *Machine) Accesses() uint64 { return m.accesses }
@@ -290,6 +314,7 @@ func (m *Machine) Finish(workload string) Result {
 		RSSPeak:      m.rssPeak,
 		RSSFinal:     m.AS.RSSBytes(),
 		Series:       m.series,
+		Counters:     m.reg.Snapshot(),
 	}
 	if wall > 0 {
 		res.Throughput = float64(m.accesses) / (wall / 1e9)

@@ -5,6 +5,8 @@
 // benefit MEMTIS trades against fast-tier waste when deciding page size.
 package tlb
 
+import "memtis/internal/obs"
+
 // Walk latencies in nanoseconds. A 4KB translation walks four page-table
 // levels; a 2MB translation stops at the PMD (three levels). The values
 // assume partial page-walk caching, in line with measured walk costs on
@@ -96,6 +98,11 @@ func DefaultConfig() Config { return Config{Entries4K: 1536, Entries2M: 1024} }
 type TLB struct {
 	l4k *subTLB
 	l2m *subTLB
+
+	// Trace receives invalidate/flush events. The per-access lookup
+	// path (Access) never emits — only the rare maintenance operations
+	// do — so tracing does not perturb translation costs.
+	Trace *obs.Tracer
 }
 
 // New builds a TLB with the given geometry; zero fields take defaults.
@@ -129,6 +136,7 @@ func (t *TLB) Access(vpn uint64, huge bool) uint64 {
 // Invalidate removes the translation covering vpn (huge selects the 2M
 // sub-TLB). Used on migration, split and collapse.
 func (t *TLB) Invalidate(vpn uint64, huge bool) {
+	t.Trace.Emit(obs.EvTLBInvalidate, vpn, huge, 0, 0)
 	if huge {
 		t.l2m.invalidate(vpn / 512)
 		return
@@ -138,6 +146,7 @@ func (t *TLB) Invalidate(vpn uint64, huge bool) {
 
 // Flush empties both sub-TLBs.
 func (t *TLB) Flush() {
+	t.Trace.Emit(obs.EvTLBFlush, 0, false, 0, 0)
 	for i := range t.l4k.sets {
 		t.l4k.sets[i] = set{}
 	}

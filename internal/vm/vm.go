@@ -10,6 +10,7 @@ package vm
 import (
 	"fmt"
 
+	"memtis/internal/obs"
 	"memtis/internal/tier"
 )
 
@@ -175,6 +176,11 @@ type AddressSpace struct {
 	// Free so policies can drop the page from their bookkeeping.
 	OnUnmap func(p *Page)
 
+	// Trace receives fault/migration/split/collapse events. Set by the
+	// machine when tracing is enabled; nil otherwise (emits are no-ops
+	// on nil, so the paths below need no guards).
+	Trace *obs.Tracer
+
 	stats Stats
 }
 
@@ -311,6 +317,7 @@ func (as *AddressSpace) Touch(vpn uint64, write bool) TouchResult {
 			res.FaultNS = BaseFaultNS
 		}
 		as.stats.FaultNS += res.FaultNS
+		as.Trace.Emit(obs.EvDemandFault, pg.VPN, pg.IsHuge(), pg.Bytes(), res.FaultNS)
 	}
 	res.Page = pg
 	res.Tier = pg.Tier
@@ -413,10 +420,13 @@ func (as *AddressSpace) Migrate(p *Page, dst tier.ID) (ns uint64, ok bool) {
 	}
 	if dst == tier.FastTier {
 		as.stats.Promotions += p.Units()
+		as.Trace.Emit(obs.EvPromotion, p.VPN, p.IsHuge(), p.Bytes(), ns)
 	} else {
 		as.stats.Demotions += p.Units()
+		as.Trace.Emit(obs.EvDemotion, p.VPN, p.IsHuge(), p.Bytes(), ns)
 	}
 	as.stats.Shootdowns++
+	as.Trace.Emit(obs.EvShootdown, p.VPN, p.IsHuge(), 0, 0)
 	as.stats.MigratedBytes += p.Bytes()
 	p.Tier = dst
 	return ns, true
@@ -442,6 +452,8 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 	ns = SplitFixedNS + ShootdownNS
 	as.stats.Splits++
 	as.stats.Shootdowns++
+	as.Trace.Emit(obs.EvShootdown, p.VPN, true, 0, 0)
+	reclaimedBefore := as.stats.ReclaimedFrames
 	subs = make([]*Page, 0, tier.SubPages)
 	for j := 0; j < tier.SubPages; j++ {
 		vpn := p.VPN + uint64(j)
@@ -470,6 +482,7 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 	}
 	p.dead = true
 	as.nPages--
+	as.Trace.Emit(obs.EvSplit, p.VPN, true, p.Bytes(), as.stats.ReclaimedFrames-reclaimedBefore)
 	return subs, ns
 }
 
@@ -509,6 +522,8 @@ func (as *AddressSpace) Collapse(baseVPN uint64, dst tier.ID) (hp *Page, ns uint
 	as.nPages++
 	as.stats.Collapses++
 	as.stats.Shootdowns++
+	as.Trace.Emit(obs.EvCollapse, baseVPN, true, hp.Bytes(), 0)
+	as.Trace.Emit(obs.EvShootdown, baseVPN, true, 0, 0)
 	return hp, CollapseNS + ShootdownNS, true
 }
 
