@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench figures clean
+.PHONY: check fmt vet build docs test race fuzz bench figures clean
 
-check: fmt vet build test
+check: fmt vet build docs test
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,6 +24,11 @@ build:
 test:
 	$(GO) test ./...
 
+# Documentation floor: every package must carry a package doc comment
+# (see cmd/doclint). Fails check when a package lands undocumented.
+docs:
+	$(GO) run ./cmd/doclint ./internal ./cmd ./examples
+
 # Race smoke: the parallel-runner determinism regression, the
 # per-machine shared-state audit, and the codec/dist suites, all under
 # -race with CI-sized budgets.
@@ -39,6 +44,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzDecoder -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=$(FUZZTIME) ./internal/obs
+	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/tier
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

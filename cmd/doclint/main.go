@@ -1,0 +1,101 @@
+// Command doclint enforces the repository's documentation floor: every
+// Go package under the given roots must carry a package-level doc
+// comment ("// Package foo ..." or "// Command foo ..." immediately
+// above the package clause) in at least one non-test file. It is wired
+// into `make check` via the docs target, so an undocumented package
+// fails CI.
+//
+// Usage:
+//
+//	doclint ./internal ./cmd
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./internal", "./cmd"}
+	}
+	exit := 0
+	for _, root := range roots {
+		dirs, err := packageDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		for _, d := range dirs {
+			ok, err := hasPackageDoc(d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "doclint: %s: no package doc comment in any non-test file\n", d)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test Go file, sorted for stable output.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if e.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		seen[filepath.Dir(path)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasPackageDoc reports whether any non-test file in dir attaches a
+// non-empty doc comment to its package clause. Parsing stops at the
+// package clause — doclint never type-checks, so it stays fast and
+// dependency-free.
+func hasPackageDoc(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -9,6 +9,7 @@
 //
 //	memtis-sim -workload silo -policy memtis -ratio 1:8 -accesses 2000000
 //	memtis-sim -workload silo -policy memtis -trace-events silo.events.jsonl
+//	memtis-sim -workload silo -policy memtis -faults rate=0.01,throttle=200us/1ms:4x
 //	memtis-sim -workload silo,btree -policy tpp,memtis -ratio 1:2,1:8 -parallel 8
 //	memtis-sim -workload all -policy memtis,hemem -ratio 1:8 -trace-events traces/
 //	memtis-sim -list
@@ -46,6 +47,7 @@ func main() {
 		baseline = flag.Bool("baseline", false, "also run the all-capacity baseline and report normalized performance")
 		series   = flag.String("series", "", "write a time-series CSV (hot/warm/cold, RSS, hit ratio) to this path")
 		traceOut = flag.String("trace-events", "", "write a JSONL event trace to this path (matrix mode: a directory, one trace per cell)")
+		faults   = flag.String("faults", "", "fault-injection spec, e.g. \"rate=0.01,retries=3,throttle=200us/1ms:4x\" (empty = disabled; see tier.ParseFaultSpec)")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -82,6 +84,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown capacity kind %q\n", *capKind)
 		os.Exit(2)
+	}
+	if *faults != "" {
+		fc, err := tier.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim: -faults:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = fc
 	}
 
 	if strings.Contains(*wname, ",") || *wname == "all" ||
@@ -159,6 +169,10 @@ func main() {
 		res.VM.Promotions, res.VM.Demotions)
 	fmt.Printf("splits          %d (reclaimed %.1f MB), collapses %d\n",
 		res.VM.Splits, mb(res.VM.ReclaimedFrames*tier.BasePageSize), res.VM.Collapses)
+	if cfg.Faults.Enabled() {
+		fmt.Printf("fault aborts    %d (%.3f ms wasted copy)\n",
+			res.VM.MigrateAborts, float64(res.VM.AbortNS)/1e6)
+	}
 
 	if *baseline {
 		b := bench.RunBaseline(*wname, cfg)

@@ -35,7 +35,7 @@ import (
 func main() {
 	var (
 		out      = flag.String("out", "results", "output directory")
-		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead)")
+		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead,faultsweep)")
 		accesses = flag.Uint64("accesses", 2_000_000, "access budget per run")
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		parallel = flag.Int("parallel", 0, "worker pool size for matrix experiments (0 = GOMAXPROCS, 1 = sequential)")
@@ -178,6 +178,18 @@ func main() {
 			return t, err
 		}},
 		{"overhead", seqTable(func() bench.Table { _, t := bench.Overhead(cfg); return t })},
+		{"faultsweep", func() (bench.Table, error) {
+			// The fault-rate x policy degradation matrix (EXPERIMENTS.md
+			// "Fault sweep"): every cell normalised to the same policy's
+			// fault-free run, so the sweep isolates fault sensitivity.
+			m, err := runner.FaultSweep(ctx, cfg, "silo", bench.Ratio1to8, nil, nil)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			writeCounters(*out, "faultsweep", m)
+			title := fmt.Sprintf("fault sweep: silo 1:8 throughput vs copy-abort rate (normalised to each policy's fault-free run, seed %d)", cfg.Seed)
+			return bench.FaultSweepTable(title, m, "silo", bench.Ratio1to8, nil, nil), nil
+		}},
 	}
 
 	var summary strings.Builder

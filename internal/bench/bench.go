@@ -57,6 +57,13 @@ type Config struct {
 	// trace per cell into this directory (created if missing), named
 	// <workload>_<ratio>_<policy>.events.jsonl with ':' spelled "to".
 	EventDir string
+
+	// Faults is the fault-injection schedule applied to every machine
+	// the harness builds (see tier.FaultConfig and DESIGN.md §6). The
+	// zero value disables injection; a zero Faults.Seed derives the
+	// plan seed from the machine seed, so matrix cells fault
+	// independently but deterministically.
+	Faults tier.FaultConfig
 }
 
 // DefaultConfig returns the harness defaults used by the bench targets.
@@ -153,6 +160,7 @@ func MachineFor(spec workload.Spec, r Ratio, polName string, cfg Config) sim.Con
 		Seed:      cfg.Seed,
 		RecordNS:  cfg.RecordNS,
 		Trace:     cfg.Trace,
+		Faults:    cfg.Faults,
 	}
 }
 
@@ -176,6 +184,7 @@ func RunBaseline(wname string, cfg Config) sim.Result {
 		Threads:   cfg.Threads,
 		Seed:      cfg.Seed,
 		Trace:     cfg.Trace,
+		Faults:    cfg.Faults,
 	}
 	return sim.Run(mc, NewPolicy("all-capacity"), w, cfg.Accesses)
 }
@@ -193,6 +202,7 @@ func RunAllFast(wname string, thp bool, cfg Config) sim.Result {
 		Threads:   cfg.Threads,
 		Seed:      cfg.Seed,
 		Trace:     cfg.Trace,
+		Faults:    cfg.Faults,
 	}
 	return sim.Run(mc, NewPolicy("all-fast"), w, cfg.Accesses)
 }

@@ -247,6 +247,10 @@ func (p *Policy) BackgroundNS() uint64 { return p.backgroundNS + p.smp.SpentNS()
 // BusyCores implements sim.Policy: ksampled/kmigrated are event-driven.
 func (p *Policy) BusyCores() float64 { return 0 }
 
+// Capabilities implements sim.Policy: MEMTIS follows the full placement
+// and migration contract with no declared deviations.
+func (p *Policy) Capabilities() sim.Capability { return 0 }
+
 // Sampler exposes the PEBS controller for overhead reporting (§6.3.5).
 func (p *Policy) Sampler() *pebs.Sampler { return p.smp }
 
@@ -808,12 +812,31 @@ func (p *Policy) promoteList(list *[]*vm.Page, validFlag uint32, allowWarmVictim
 		}
 		*list = (*list)[1:]
 		pg.PFlags &^= validFlag
-		if ns, ok := p.m.AS.Migrate(pg, tier.FastTier); ok {
-			p.backgroundNS += ns
+		if p.migrate(pg, tier.FastTier) {
 			budget -= pg.Bytes()
 		}
 	}
 	return budget
+}
+
+// migrate moves one page transactionally with bounded retries on
+// fault-aborted copies, charging kmigrated for the successful copy and
+// for every wasted attempt plus backoff. With faults disabled this is
+// exactly the old single-shot Migrate: no retries, no extra cost.
+func (p *Policy) migrate(pg *vm.Page, dst tier.ID) bool {
+	fp := p.m.Faults()
+	for attempt := 0; ; attempt++ {
+		ns, st := p.m.AS.MigrateTx(pg, dst)
+		p.backgroundNS += ns
+		if st == vm.MigrateOK {
+			return true
+		}
+		if st != vm.MigrateAborted || attempt >= fp.MaxRetries() {
+			return false
+		}
+		p.backgroundNS += fp.RetryBackoffNS(attempt)
+		p.trace.Emit(obs.EvMigrateRetry, pg.VPN, pg.IsHuge(), pg.Bytes(), uint64(attempt+1))
+	}
 }
 
 // reclaimTo demotes fast-tier pages until the tier has at least frames
@@ -854,8 +877,7 @@ func (p *Policy) reclaimTo(frames uint64, allowWarm bool, budget *uint64) {
 		if pg.Bytes() > *budget {
 			return
 		}
-		if ns, ok := p.m.AS.Migrate(pg, tier.CapacityTier); ok {
-			p.backgroundNS += ns
+		if p.migrate(pg, tier.CapacityTier) {
 			*budget -= pg.Bytes()
 		}
 	}

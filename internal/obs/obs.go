@@ -50,6 +50,16 @@ const (
 	// EvSamplerOverflow: the controller wanted to throttle further but
 	// the period is pinned at MaxPeriod. Aux = period.
 	EvSamplerOverflow
+	// EvMigrateAbort: a migration transaction's copy phase faulted and
+	// the transaction rolled back (the page keeps its source mapping).
+	// Aux = the charged cost of the wasted copy (ns).
+	EvMigrateAbort
+	// EvMigrateRetry: a migration helper is retrying an aborted
+	// transaction after backoff. Aux = 1-based retry attempt number.
+	EvMigrateRetry
+	// EvFaultWindow: the fault plan entered an injection window.
+	// Aux = window kind (tier.ThrottleWindow or tier.StallWindow).
+	EvFaultWindow
 
 	numKinds
 )
@@ -67,6 +77,9 @@ var kindNames = [numKinds]string{
 	EvAdapt:           "adapt",
 	EvSamplerAdjust:   "sampler_adjust",
 	EvSamplerOverflow: "sampler_overflow",
+	EvMigrateAbort:    "migrate_abort",
+	EvMigrateRetry:    "migrate_retry",
+	EvFaultWindow:     "fault_window",
 }
 
 // String returns the stable wire name of the kind (used in JSONL).

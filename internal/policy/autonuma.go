@@ -39,10 +39,10 @@ func (a *AutoNUMA) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 	stall := uint64(HintFaultNS)
 	if pg.Tier == tier.CapacityTier {
 		// Promote on the critical path; silently skipped when the fast
-		// tier is full (AutoNUMA has no demotion to make room).
-		if ns, ok := a.MigrateSync(pg, tier.FastTier); ok {
-			stall += ns
-		}
+		// tier is full (AutoNUMA has no demotion to make room). The ns
+		// of a fault-aborted promotion still stalls the thread.
+		ns, _ := a.MigrateSync(pg, tier.FastTier)
+		stall += ns
 	}
 	return stall
 }

@@ -60,9 +60,8 @@ func (a *AutoTiering) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64
 	pg.P0 |= 1 // set current history bit
 	stall := uint64(HintFaultNS)
 	if pg.Tier == tier.CapacityTier {
-		if ns, ok := a.MigrateSync(pg, tier.FastTier); ok {
-			stall += ns
-		}
+		ns, _ := a.MigrateSync(pg, tier.FastTier)
+		stall += ns
 	}
 	return stall
 }

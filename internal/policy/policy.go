@@ -32,11 +32,25 @@ const (
 	SyncExtraNS = 2_000 // extra critical-path bookkeeping for in-fault migration
 )
 
+// AdmissionFunc vetoes a migration before any copy work is charged.
+// pg is the page about to move, dst its destination and sync whether
+// the move is on the application's critical path. Returning false
+// rejects the migration (counted under migrate_*_rejected_admission).
+type AdmissionFunc func(pg *vm.Page, dst tier.ID, sync bool) bool
+
 // Base carries the plumbing every baseline shares: machine binding, a
 // page registry in fault order, and background CPU accounting.
 type Base struct {
 	M    *sim.Machine
 	BgNS uint64
+
+	// Admit, when set, overrides the default admission control applied
+	// by MigrateSync/MigrateAsync. The default admits everything except
+	// async migrations during bandwidth-throttle windows (copying at
+	// 1/Nth speed wastes daemon budget on work that gets cheaper when
+	// the window closes); sync migrations always pass because the
+	// faulting thread is already stalled.
+	Admit AdmissionFunc
 
 	Registry []*vm.Page
 
@@ -57,13 +71,18 @@ type Base struct {
 // through). Cells live in the machine registry under the policy's
 // name.
 type migCounters struct {
-	syncPages    *uint64
-	syncBytes    *uint64
-	syncRejRate  *uint64 // rejected by the 256MB/s token bucket
-	syncRejSpace *uint64 // rejected because the destination tier is full
-	asyncPages   *uint64
-	asyncBytes   *uint64
-	asyncRej     *uint64
+	syncPages     *uint64
+	syncBytes     *uint64
+	syncRejRate   *uint64 // rejected by the 256MB/s token bucket
+	syncRejSpace  *uint64 // rejected because the destination tier is full
+	asyncPages    *uint64
+	asyncBytes    *uint64
+	asyncRej      *uint64
+	retries       *uint64 // aborted copies retried by the transaction loop
+	syncRejFault  *uint64 // sync migrations that exhausted their retries
+	asyncRejFault *uint64 // async migrations that exhausted their retries
+	syncRejAdm    *uint64 // sync migrations vetoed by admission control
+	asyncRejAdm   *uint64 // async migrations vetoed by admission control
 }
 
 // Counters returns the policy-namespaced metric group (prefix =
@@ -83,13 +102,18 @@ func (b *Base) mig() *migCounters {
 	if b.mc == nil {
 		g := b.Counters()
 		b.mc = &migCounters{
-			syncPages:    g.Counter("migrate_sync_pages"),
-			syncBytes:    g.Counter("migrate_sync_bytes"),
-			syncRejRate:  g.Counter("migrate_sync_rejected_rate"),
-			syncRejSpace: g.Counter("migrate_sync_rejected_space"),
-			asyncPages:   g.Counter("migrate_async_pages"),
-			asyncBytes:   g.Counter("migrate_async_bytes"),
-			asyncRej:     g.Counter("migrate_async_rejected"),
+			syncPages:     g.Counter("migrate_sync_pages"),
+			syncBytes:     g.Counter("migrate_sync_bytes"),
+			syncRejRate:   g.Counter("migrate_sync_rejected_rate"),
+			syncRejSpace:  g.Counter("migrate_sync_rejected_space"),
+			asyncPages:    g.Counter("migrate_async_pages"),
+			asyncBytes:    g.Counter("migrate_async_bytes"),
+			asyncRej:      g.Counter("migrate_async_rejected"),
+			retries:       g.Counter("migrate_retries"),
+			syncRejFault:  g.Counter("migrate_sync_rejected_fault"),
+			asyncRejFault: g.Counter("migrate_async_rejected_fault"),
+			syncRejAdm:    g.Counter("migrate_sync_rejected_admission"),
+			asyncRejAdm:   g.Counter("migrate_async_rejected_admission"),
 		}
 	}
 	return b.mc
@@ -128,6 +152,11 @@ func (b *Base) BackgroundNS() uint64 { return b.BgNS }
 // BusyCores implements part of sim.Policy.
 func (b *Base) BusyCores() float64 { return 0 }
 
+// Capabilities implements part of sim.Policy: baselines declare no
+// contract deviations. Policies that deviate (the pinning references)
+// override this — see the sim.Capability constants for the contract.
+func (b *Base) Capabilities() sim.Capability { return 0 }
+
 // PlaceNew implements part of sim.Policy: default fast-first placement.
 func (b *Base) PlaceNew(huge bool, vpn uint64) tier.ID { return tier.NoTier }
 
@@ -147,36 +176,88 @@ func (b *Base) Compact() {
 	b.Registry = live
 }
 
+// admit applies admission control: the caller's Admit hook when set,
+// otherwise the default policy described on the field.
+func (b *Base) admit(pg *vm.Page, dst tier.ID, sync bool) bool {
+	if b.Admit != nil {
+		return b.Admit(pg, dst, sync)
+	}
+	if !sync && b.M.Faults().ThrottleActive(b.M.Now()) {
+		return false
+	}
+	return true
+}
+
+// migrateTx drives one transactional migration, retrying aborted
+// copies up to the fault plan's bound with exponential virtual-time
+// backoff. The returned ns includes wasted copy work and backoff for
+// every aborted attempt — with faults disabled aborts never occur and
+// the cost equals the plain migration cost. The final status is
+// MigrateAborted only after the retry budget is exhausted.
+func (b *Base) migrateTx(pg *vm.Page, dst tier.ID) (uint64, vm.MigrateStatus) {
+	fp := b.M.Faults()
+	var total uint64
+	for attempt := 0; ; attempt++ {
+		ns, st := b.M.AS.MigrateTx(pg, dst)
+		total += ns
+		if st != vm.MigrateAborted || attempt >= fp.MaxRetries() {
+			return total, st
+		}
+		total += fp.RetryBackoffNS(attempt)
+		*b.mig().retries++
+		b.Trace().Emit(obs.EvMigrateRetry, pg.VPN, pg.IsHuge(), pg.Bytes(), uint64(attempt+1))
+	}
+}
+
 // MigrateSync migrates on the critical path and returns the stall the
 // application experiences (used by fault-handler promotion paths).
-// Subject to the kernel-style migration rate limit.
+// Subject to admission control and the kernel-style migration rate
+// limit. On a fault-aborted migration ok is false but the returned ns
+// is the wasted copy and backoff time — the faulting thread stalled
+// for that work even though the page never moved.
 func (b *Base) MigrateSync(pg *vm.Page, dst tier.ID) (uint64, bool) {
 	mc := b.mig()
+	if !b.admit(pg, dst, true) {
+		*mc.syncRejAdm++
+		return 0, false
+	}
 	if !b.allowSync(pg.Bytes()) {
 		*mc.syncRejRate++
 		return 0, false
 	}
-	ns, ok := b.M.AS.Migrate(pg, dst)
-	if !ok {
+	ns, st := b.migrateTx(pg, dst)
+	switch st {
+	case vm.MigrateNoSpace:
 		*mc.syncRejSpace++
 		return 0, false
+	case vm.MigrateAborted:
+		*mc.syncRejFault++
+		return ns, false
 	}
 	*mc.syncPages += pg.Units()
 	*mc.syncBytes += pg.Bytes()
 	return ns + SyncExtraNS, true
 }
 
-// MigrateAsync migrates in the background, charging the daemon budget.
+// MigrateAsync migrates in the background, charging the daemon budget
+// — including the wasted copies of aborted attempts.
 func (b *Base) MigrateAsync(pg *vm.Page, dst tier.ID) bool {
 	mc := b.mig()
-	ns, ok := b.M.AS.Migrate(pg, dst)
-	if !ok {
+	if !b.admit(pg, dst, false) {
+		*mc.asyncRejAdm++
+		return false
+	}
+	ns, st := b.migrateTx(pg, dst)
+	b.BgNS += ns
+	if st != vm.MigrateOK {
 		*mc.asyncRej++
+		if st == vm.MigrateAborted {
+			*mc.asyncRejFault++
+		}
 		return false
 	}
 	*mc.asyncPages += pg.Units()
 	*mc.asyncBytes += pg.Bytes()
-	b.BgNS += ns
 	return true
 }
 

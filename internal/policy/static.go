@@ -36,5 +36,17 @@ func (s *Static) PlaceNew(huge bool, vpn uint64) tier.ID { return s.Pin }
 // OnAccess implements sim.Policy.
 func (s *Static) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 { return 0 }
 
+// Capabilities implements sim.Policy: a pinned reference baseline
+// deliberately targets one tier regardless of free space and relies on
+// the VM's overflow fallback, which it declares via
+// sim.CapPinnedPlacement instead of being special-cased by name in the
+// conformance suite.
+func (s *Static) Capabilities() sim.Capability {
+	if s.Pin != tier.NoTier {
+		return sim.CapPinnedPlacement
+	}
+	return 0
+}
+
 // Tick implements sim.Policy.
 func (s *Static) Tick(now uint64) {}

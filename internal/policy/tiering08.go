@@ -60,8 +60,9 @@ func (t *Tiering08) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 	pg.P0 = now
 	stall := uint64(HintFaultNS)
 	if pg.Tier == tier.CapacityTier && now-last < t.threshNS {
-		if ns, ok := t.MigrateSync(pg, tier.FastTier); ok {
-			stall += ns
+		ns, ok := t.MigrateSync(pg, tier.FastTier)
+		stall += ns
+		if ok {
 			t.promoBytes += pg.Bytes()
 		}
 	}

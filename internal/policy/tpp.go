@@ -53,9 +53,8 @@ func (t *TPP) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 	stall := uint64(HintFaultNS)
 	if pg.Tier == tier.CapacityTier && last+2 > epoch && last != 0 {
 		// Second access within two scan generations.
-		if ns, ok := t.MigrateSync(pg, tier.FastTier); ok {
-			stall += ns
-		}
+		ns, _ := t.MigrateSync(pg, tier.FastTier)
+		stall += ns
 	}
 	return stall
 }

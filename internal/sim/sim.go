@@ -46,7 +46,34 @@ type Policy interface {
 	// (e.g. HeMem's spinning sampler thread = 1); 0 for event-driven
 	// daemons whose cost is already in BackgroundNS.
 	BusyCores() float64
+	// Capabilities declares, once and for the lifetime of the policy,
+	// which deliberate contract deviations the policy claims (see the
+	// Capability constants). Harnesses — the conformance suite above
+	// all — read this instead of type-asserting concrete policies, so
+	// a new policy that shares a deviation declares it rather than
+	// growing the suite's special-case list. Return 0 (no deviations)
+	// unless a documented capability applies; an undeclared deviation
+	// is a conformance failure, a declared-but-unused one is harmless.
+	Capabilities() Capability
 }
+
+// Capability is a bitset of declared policy properties that adjust the
+// conformance contract. Capabilities are static: a policy's set must
+// not change after construction.
+type Capability uint32
+
+const (
+	// CapPinnedPlacement: the policy deliberately directs every
+	// allocation at one tier regardless of free space and relies on
+	// the VM's documented overflow fallback (the all-fast /
+	// all-capacity reference baselines). Conformance suites must not
+	// fault PlaceNew for targeting a full tier; adaptive policies must
+	// never declare this.
+	CapPinnedPlacement Capability = 1 << iota
+)
+
+// Has reports whether every bit of want is set.
+func (c Capability) Has(want Capability) bool { return c&want == want }
 
 // HotSetReporter is implemented by policies that classify pages so the
 // harness can plot identified hot/warm/cold set sizes (Figures 2 and 9).
@@ -71,6 +98,13 @@ type Config struct {
 	// binds its virtual clock to the tracer, so a tracer serves exactly
 	// one machine. Nil disables tracing at zero cost.
 	Trace *obs.Tracer
+	// Faults configures deterministic fault injection (DESIGN.md §6):
+	// transient migration-copy failures, bandwidth-throttling windows
+	// and per-tier stall bursts. The zero value disables injection
+	// entirely; a zero Faults.Seed derives the decision stream from
+	// Seed, so matrix cells with derived per-cell seeds get independent
+	// fault histories automatically.
+	Faults tier.FaultConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -129,6 +163,13 @@ type Machine struct {
 	Rand *rand.Rand
 	reg  *obs.Registry
 
+	// faults is the machine's fault plan (nil when cfg.Faults is the
+	// zero value, which keeps the hot path at one nil check).
+	faults          *tier.FaultPlan
+	ctrThrottleWins *uint64
+	ctrStallWins    *uint64
+	ctrStallNS      *uint64
+
 	now      uint64
 	accesses uint64
 	fastHits uint64
@@ -174,6 +215,27 @@ func NewMachine(cfg Config, pol Policy) *Machine {
 		m.AS.Trace = cfg.Trace
 		m.TLB.Trace = cfg.Trace
 	}
+	if cfg.Faults.Enabled() {
+		fc := cfg.Faults
+		if fc.Seed == 0 {
+			// Fold the machine seed through the same finalizer family
+			// the matrix runner uses, so every cell's fault history is
+			// independent yet fully determined by its cell seed.
+			fc.Seed = cfg.Seed ^ 0x66_61_75_6c_74 // "fault"
+		}
+		m.faults = tier.NewFaultPlan(fc)
+		m.AS.Faults = m.faults
+		m.AS.Clock = func() uint64 { return m.now }
+		g := m.reg.Group("fault")
+		m.ctrThrottleWins = g.Counter("throttle_windows")
+		m.ctrStallWins = g.Counter("stall_windows")
+		m.ctrStallNS = g.Counter("stall_ns")
+		// Bound once here: the registered counters below exist exactly
+		// when faults are on, so fault-disabled counter snapshots (and
+		// the golden CSVs diffing them) are unchanged.
+		g.Counter("migrate_aborts")
+		g.Counter("abort_ns")
+	}
 	m.nextTick = cfg.TickNS
 	if cfg.RecordNS > 0 {
 		m.nextRecord = cfg.RecordNS
@@ -202,6 +264,11 @@ func (m *Machine) Counters() *obs.Registry { return m.reg }
 // emitting on the returned value is always safe.
 func (m *Machine) Tracer() *obs.Tracer { return m.Cfg.Trace }
 
+// Faults returns the machine's fault plan — nil when fault injection
+// is disabled, which every FaultPlan method treats as the no-fault
+// case, so callers consult it unguarded.
+func (m *Machine) Faults() *tier.FaultPlan { return m.faults }
+
 // Accesses returns the number of accesses issued so far.
 func (m *Machine) Accesses() uint64 { return m.accesses }
 
@@ -218,6 +285,25 @@ func (m *Machine) Access(vpn uint64, write bool) {
 		m.fastHits++
 	} else {
 		cost += m.Cap.AccessNS(write)
+	}
+	if m.faults != nil {
+		// Stall bursts hit the access itself; window starts are polled
+		// here (the only place virtual time advances densely) so each
+		// injection window is reported exactly once.
+		if extra := m.faults.AccessStallNS(tr.Tier, m.now); extra > 0 {
+			cost += extra
+			*m.ctrStallNS += extra
+		}
+		if thr, stl := m.faults.PollWindows(m.now); thr || stl {
+			if thr {
+				*m.ctrThrottleWins++
+				m.Cfg.Trace.Emit(obs.EvFaultWindow, 0, false, 0, tier.ThrottleWindow)
+			}
+			if stl {
+				*m.ctrStallWins++
+				m.Cfg.Trace.Emit(obs.EvFaultWindow, 0, false, 0, tier.StallWindow)
+			}
+		}
 	}
 	if m.Pol != nil {
 		cost += m.Pol.OnAccess(tr, vpn, write)
@@ -284,6 +370,13 @@ func (m *Machine) Finish(workload string) Result {
 		polName = m.Pol.Name()
 		daemonNS = m.Pol.BackgroundNS()
 		busy = m.Pol.BusyCores()
+	}
+	if m.faults != nil {
+		// Fold the VM's transaction outcomes into the fault counter
+		// group (Finish runs once; counters stay monotonic).
+		g := m.reg.Group("fault")
+		*g.Counter("migrate_aborts") = m.AS.Stats().MigrateAborts
+		*g.Counter("abort_ns") = m.AS.Stats().AbortNS
 	}
 	elapsed := m.now
 	if elapsed == 0 {

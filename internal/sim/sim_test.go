@@ -34,6 +34,7 @@ func (p *countingPolicy) PlaceNew(bool, uint64) tier.ID { return p.place }
 func (p *countingPolicy) Tick(uint64)                   { p.ticks++ }
 func (p *countingPolicy) BackgroundNS() uint64          { return p.bgNS }
 func (p *countingPolicy) BusyCores() float64            { return p.busy }
+func (p *countingPolicy) Capabilities() Capability      { return 0 }
 func (p *countingPolicy) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 	p.accesses++
 	return p.stall

@@ -1,10 +1,17 @@
 // Package vm models the virtual-memory side of the simulated machine:
 // address spaces, first-touch demand paging with THP-style huge-page
-// allocation, page access metadata, page migration between tiers, and
-// the huge-page split/collapse operations MEMTIS performs in the
-// background. All operations return their cost in nanoseconds so the
-// simulator can charge them to the application's critical path or to a
-// background daemon, whichever the invoking policy mandates.
+// allocation, page access metadata, transactional page migration
+// between tiers, and the huge-page split/collapse operations MEMTIS
+// performs in the background. All operations return their cost in
+// nanoseconds so the simulator can charge them to the application's
+// critical path or to a background daemon, whichever the invoking
+// policy mandates.
+//
+// Migration is a three-phase transaction (reserve destination frame →
+// copy at the fault plan's current bandwidth → commit or abort with
+// rollback; DESIGN.md §6), so a page is never lost or double-mapped
+// even when the machine's fault plan injects transient copy failures;
+// Audit verifies the frame-accounting invariants on demand.
 package vm
 
 import (
@@ -148,6 +155,8 @@ type Stats struct {
 	MigratedBytes   uint64
 	Promotions      uint64 // migrations into the fast tier (pages)
 	Demotions       uint64 // migrations out of the fast tier (pages)
+	MigrateAborts   uint64 // transactions rolled back by injected copy faults
+	AbortNS         uint64 // cost charged for the wasted copies of aborts
 	Splits          uint64
 	Collapses       uint64
 	Shootdowns      uint64
@@ -180,6 +189,15 @@ type AddressSpace struct {
 	// machine when tracing is enabled; nil otherwise (emits are no-ops
 	// on nil, so the paths below need no guards).
 	Trace *obs.Tracer
+
+	// Faults is the machine's fault-injection plan; migration
+	// transactions consult it for copy failures and bandwidth
+	// throttling. Nil (the default) disables fault injection — every
+	// FaultPlan method is nil-safe.
+	Faults *tier.FaultPlan
+	// Clock reads the machine's virtual time; the fault plan's
+	// throttle windows are functions of it. Nil reads as zero.
+	Clock func() uint64
 
 	stats Stats
 }
@@ -391,33 +409,105 @@ func (as *AddressSpace) CanMigrate(p *Page, dst tier.ID) bool {
 	return t.FreeFrames() > 0
 }
 
-// Migrate moves the page to dst and returns the cost in nanoseconds.
-// ok is false when dst has no room (the page stays put).
-func (as *AddressSpace) Migrate(p *Page, dst tier.ID) (ns uint64, ok bool) {
+// MigrateStatus classifies the outcome of one migration transaction.
+type MigrateStatus uint8
+
+const (
+	// MigrateOK: the transaction committed; the page lives on dst.
+	MigrateOK MigrateStatus = iota
+	// MigrateNoSpace: the reserve phase found no room on dst; nothing
+	// was charged and the page stays put. This is an admission
+	// failure, not a fault — retrying without freeing memory is
+	// pointless.
+	MigrateNoSpace
+	// MigrateAborted: the copy phase faulted (injected by the fault
+	// plan); the reservation was rolled back, the page keeps its
+	// source mapping, and the returned ns is the wasted copy cost.
+	// Transient — the caller may retry within the plan's retry bound.
+	MigrateAborted
+)
+
+// String names the status for diagnostics.
+func (s MigrateStatus) String() string {
+	switch s {
+	case MigrateOK:
+		return "ok"
+	case MigrateNoSpace:
+		return "no-space"
+	case MigrateAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// MigrateTx moves the page to dst with a three-phase transaction:
+//
+//	reserve  allocate the destination frame (fails: MigrateNoSpace,
+//	         nothing charged);
+//	copy     charge the copy at the fault plan's current bandwidth
+//	         factor, then let the plan fail it (fails: free the
+//	         reservation, keep the source mapping untouched, return
+//	         MigrateAborted with the wasted cost);
+//	commit   remap the page to the new frame, free the source frame,
+//	         and broadcast the TLB shootdown.
+//
+// The source mapping is only touched in commit, so an abort can never
+// lose the page or leave it double-mapped — Audit checks exactly that.
+func (as *AddressSpace) MigrateTx(p *Page, dst tier.ID) (ns uint64, st MigrateStatus) {
 	if p.dead || p.Tier == dst {
-		return 0, false
+		return 0, MigrateNoSpace
 	}
 	src := as.tierOf(p.Tier)
 	dt := as.tierOf(dst)
+
+	// Reserve.
+	var nf tier.Frame
+	var err error
+	var copyNS uint64
 	if p.IsHuge() {
-		nf, err := dt.AllocHuge()
-		if err != nil {
-			return 0, false
+		nf, err = dt.AllocHuge()
+		copyNS = MigrateHugeNS
+	} else {
+		nf, err = dt.AllocBase()
+		copyNS = MigrateBaseNS
+	}
+	if err != nil {
+		return 0, MigrateNoSpace
+	}
+
+	// Copy, at the (possibly throttled) migration bandwidth.
+	if as.Faults != nil {
+		var now uint64
+		if as.Clock != nil {
+			now = as.Clock()
 		}
+		copyNS *= as.Faults.CopyCostFactor(now)
+		if as.Faults.FailCopy() {
+			// Abort: roll back the reservation. The page was never
+			// remapped, so the source mapping is still authoritative.
+			if p.IsHuge() {
+				dt.FreeHuge(nf)
+			} else {
+				dt.FreeBase(nf)
+			}
+			as.stats.MigrateAborts++
+			as.stats.AbortNS += copyNS
+			as.Trace.Emit(obs.EvMigrateAbort, p.VPN, p.IsHuge(), p.Bytes(), copyNS)
+			return copyNS, MigrateAborted
+		}
+	}
+
+	// Commit.
+	if p.IsHuge() {
 		src.FreeHuge(p.Frame)
-		p.Frame = nf
-		ns = MigrateHugeNS + ShootdownNS
 		as.stats.MigrationsHuge++
 	} else {
-		nf, err := dt.AllocBase()
-		if err != nil {
-			return 0, false
-		}
 		src.FreeBase(p.Frame)
-		p.Frame = nf
-		ns = MigrateBaseNS + ShootdownNS
 		as.stats.Migrations4K++
 	}
+	p.Frame = nf
+	ns = copyNS + ShootdownNS
 	if dst == tier.FastTier {
 		as.stats.Promotions += p.Units()
 		as.Trace.Emit(obs.EvPromotion, p.VPN, p.IsHuge(), p.Bytes(), ns)
@@ -429,7 +519,17 @@ func (as *AddressSpace) Migrate(p *Page, dst tier.ID) (ns uint64, ok bool) {
 	as.Trace.Emit(obs.EvShootdown, p.VPN, p.IsHuge(), 0, 0)
 	as.stats.MigratedBytes += p.Bytes()
 	p.Tier = dst
-	return ns, true
+	return ns, MigrateOK
+}
+
+// Migrate is the boolean entry point over MigrateTx. ok is false for
+// both no-space and aborted outcomes; note that an aborted transaction
+// still returns its wasted copy cost, so callers must charge ns even
+// when ok is false (with faults disabled, ns is 0 whenever ok is
+// false, matching the historical contract).
+func (as *AddressSpace) Migrate(p *Page, dst tier.ID) (ns uint64, ok bool) {
+	ns, st := as.MigrateTx(p, dst)
+	return ns, st == MigrateOK
 }
 
 // SubDest selects the destination tier for subpage j of a huge page
@@ -475,9 +575,10 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 		as.nPages++
 		subs = append(subs, np)
 		if d := dest(j); d != tier.NoTier && d != np.Tier {
-			if mns, ok := as.Migrate(np, d); ok {
-				ns += mns
-			}
+			// An aborted subpage move still charges its wasted copy;
+			// the subpage simply stays in the source tier.
+			mns, _ := as.Migrate(np, d)
+			ns += mns
 		}
 	}
 	p.dead = true
@@ -595,4 +696,70 @@ func (p *Page) EnsureSubCount() {
 	if p.IsHuge() && p.SubCount == nil {
 		p.SubCount = make([]uint32, tier.SubPages)
 	}
+}
+
+// Audit verifies the address space's frame-accounting invariants — the
+// properties a migration abort, split or collapse must never break:
+//
+//   - no dead page is reachable through the page table;
+//   - every live page maps exactly its own VPN range (huge pages cover
+//     all 512 slots, base pages exactly one);
+//   - no physical frame backs two pages (no double-mapping);
+//   - per-tier allocated-frame counts equal the sum of live page sizes
+//     (no frame lost by an aborted transaction, none leaked).
+//
+// It is O(address space) with a map allocation per call: a test-time
+// invariant checker (the fault conformance suite runs it), not a
+// production path.
+func (as *AddressSpace) Audit() error {
+	owner := make(map[tier.PhysAddr]uint64)
+	mapped := make(map[*Page]uint64)
+	var fastUnits, capUnits uint64
+	for vpn, pg := range as.table {
+		if pg == nil {
+			continue
+		}
+		if pg.dead {
+			return fmt.Errorf("vm: dead page %d still mapped at vpn %d", pg.VPN, vpn)
+		}
+		off := uint64(vpn) - pg.VPN
+		if off >= pg.Units() {
+			return fmt.Errorf("vm: page %d (units %d) mapped out of range at vpn %d",
+				pg.VPN, pg.Units(), vpn)
+		}
+		if mapped[pg] == 0 {
+			// First sighting: account frames and check uniqueness.
+			switch pg.Tier {
+			case tier.FastTier:
+				fastUnits += pg.Units()
+			case tier.CapacityTier:
+				capUnits += pg.Units()
+			default:
+				return fmt.Errorf("vm: page %d on tier %v", pg.VPN, pg.Tier)
+			}
+			for u := uint64(0); u < pg.Units(); u++ {
+				pa := tier.PhysAddr{Tier: pg.Tier, Frame: pg.Frame + tier.Frame(u)}
+				if prev, dup := owner[pa]; dup {
+					return fmt.Errorf("vm: frame %v double-mapped by pages %d and %d",
+						pa, prev, pg.VPN)
+				}
+				owner[pa] = pg.VPN
+			}
+		}
+		mapped[pg]++
+	}
+	for pg, n := range mapped {
+		if n != pg.Units() {
+			return fmt.Errorf("vm: page %d maps %d of its %d slots", pg.VPN, n, pg.Units())
+		}
+	}
+	if got := as.Fast.UsedFrames(); got != fastUnits {
+		return fmt.Errorf("vm: fast tier has %d frames allocated but %d mapped (lost or leaked)",
+			got, fastUnits)
+	}
+	if got := as.Cap.UsedFrames(); got != capUnits {
+		return fmt.Errorf("vm: capacity tier has %d frames allocated but %d mapped (lost or leaked)",
+			got, capUnits)
+	}
+	return nil
 }
