@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build docs test race fuzz bench figures clean
+.PHONY: check fmt vet build docs test race fuzz bench benchdry figures clean
 
 check: fmt vet build docs test
 
@@ -46,8 +46,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/tier
 
+# Continuous benchmarking: run the hot-loop benchmark suite, write a
+# schema-stable BENCH_<n>.json snapshot, and compare against the
+# previous one (see cmd/benchreport -h for the gate flags). BENCHTIME
+# trades precision for wall time; CI uses 1x as an execution smoke.
+BENCHTIME ?= 300ms
+BENCHCOUNT ?= 3
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) -count $(BENCHCOUNT)
+
+# Dry variant: measure and compare, write nothing.
+benchdry:
+	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -dry
 
 figures:
 	$(GO) run ./cmd/paperfigs -accesses 4000000 -out results

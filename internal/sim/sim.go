@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 
 	"memtis/internal/obs"
@@ -170,12 +171,26 @@ type Machine struct {
 	ctrStallWins    *uint64
 	ctrStallNS      *uint64
 
+	// Tier latencies, hoisted out of the per-access path at
+	// construction (tier.AccessNS is two pointer chases per call).
+	fastLoadNS, fastStoreNS uint64
+	capLoadNS, capStoreNS   uint64
+
 	now      uint64
 	accesses uint64
 	fastHits uint64
 
+	// nextRecord is math.MaxUint64 when series sampling is off, so the
+	// hot path pays one compare instead of an enabled-check plus a
+	// compare.
 	nextTick   uint64
 	nextRecord uint64
+
+	// ticking guards deliverTicks against re-entry: a policy whose Tick
+	// charges time via AdvanceBackground must not recurse into its own
+	// tick delivery (the outer catch-up loop picks up anything that
+	// became due).
+	ticking bool
 
 	lastAccesses uint64
 	lastFastHits uint64
@@ -236,7 +251,10 @@ func NewMachine(cfg Config, pol Policy) *Machine {
 		g.Counter("migrate_aborts")
 		g.Counter("abort_ns")
 	}
+	m.fastLoadNS, m.fastStoreNS = fast.AccessNS(false), fast.AccessNS(true)
+	m.capLoadNS, m.capStoreNS = capT.AccessNS(false), capT.AccessNS(true)
 	m.nextTick = cfg.TickNS
+	m.nextRecord = math.MaxUint64
 	if cfg.RecordNS > 0 {
 		m.nextRecord = cfg.RecordNS
 	}
@@ -274,17 +292,75 @@ func (m *Machine) Accesses() uint64 { return m.accesses }
 
 // AdvanceBackground lets policies charge additional critical-path time
 // (used by trackers that stall the app outside OnAccess's return path).
-func (m *Machine) AdvanceBackground(ns uint64) { m.now += ns }
+// Like every clock advance, it delivers any policy ticks and series
+// samples that become due — a long stall must not postpone background
+// work past its schedule.
+func (m *Machine) AdvanceBackground(ns uint64) { m.advance(ns) }
+
+// advance is the single place the virtual clock moves: it adds ns and
+// runs the tick/record catch-up that every time-advancing path
+// (Access, FreeRegion, AdvanceBackground) must share. Bumping m.now
+// directly would deliver due policy ticks late.
+func (m *Machine) advance(ns uint64) {
+	m.now += ns
+	if m.now >= m.nextTick {
+		m.deliverTicks()
+	}
+	if m.now >= m.nextRecord {
+		m.deliverRecords()
+	}
+}
+
+// deliverTicks runs the policy tick catch-up loop. Out of line: the hot
+// path pays only the m.now >= m.nextTick compare. Re-entrant advances
+// from inside Policy.Tick bump the clock only; the loop here delivers
+// whatever they made due.
+func (m *Machine) deliverTicks() {
+	if m.ticking {
+		return
+	}
+	m.ticking = true
+	for m.now >= m.nextTick {
+		if m.Pol != nil {
+			m.Pol.Tick(m.nextTick)
+		}
+		m.nextTick += m.Cfg.TickNS
+	}
+	m.ticking = false
+}
+
+// deliverRecords samples the series and schedules the next sample.
+// Only reached when RecordNS > 0 (nextRecord is pinned at MaxUint64
+// otherwise).
+func (m *Machine) deliverRecords() {
+	m.record()
+	for m.nextRecord <= m.now {
+		m.nextRecord += m.Cfg.RecordNS
+	}
+}
 
 // Access issues one memory access to base-page number vpn.
+//
+// Hot-path invariants (DESIGN.md §7): no allocations on the non-fault
+// path, no tracing cost when tracing is disabled, and rare-path work
+// (fault injection, tick delivery, series sampling, RSS accounting)
+// hidden behind single predictable compares.
 func (m *Machine) Access(vpn uint64, write bool) {
 	tr := m.AS.Touch(vpn, write)
 	cost := m.TLB.Access(vpn, tr.Page.IsHuge()) + tr.FaultNS
 	if tr.Tier == tier.FastTier {
-		cost += m.Fast.AccessNS(write)
+		if write {
+			cost += m.fastStoreNS
+		} else {
+			cost += m.fastLoadNS
+		}
 		m.fastHits++
 	} else {
-		cost += m.Cap.AccessNS(write)
+		if write {
+			cost += m.capStoreNS
+		} else {
+			cost += m.capLoadNS
+		}
 	}
 	if m.faults != nil {
 		// Stall bursts hit the access itself; window starts are polled
@@ -308,25 +384,46 @@ func (m *Machine) Access(vpn uint64, write bool) {
 	if m.Pol != nil {
 		cost += m.Pol.OnAccess(tr, vpn, write)
 	}
+	// advance(cost), spelled out: advance does not inline, and this is
+	// the one call site hot enough for that to matter.
 	m.now += cost
 	m.accesses++
 	if m.AccessObserver != nil {
 		m.AccessObserver(vpn, write, m.now)
 	}
-	for m.now >= m.nextTick {
-		if m.Pol != nil {
-			m.Pol.Tick(m.nextTick)
-		}
-		m.nextTick += m.Cfg.TickNS
+	if m.now >= m.nextTick {
+		m.deliverTicks()
 	}
-	if m.nextRecord > 0 && m.now >= m.nextRecord {
-		m.record()
-		for m.nextRecord <= m.now {
-			m.nextRecord += m.Cfg.RecordNS
+	if m.now >= m.nextRecord {
+		m.deliverRecords()
+	}
+	if tr.Faulted {
+		// RSS grows only by demand faults (migrations are net-zero,
+		// splits and frees shrink it), so the peak needs re-sampling
+		// only here — not on the billions of steady-state accesses.
+		if rss := m.AS.RSSBytes(); rss > m.rssPeak {
+			m.rssPeak = rss
 		}
 	}
-	if rss := m.AS.RSSBytes(); rss > m.rssPeak {
-		m.rssPeak = rss
+}
+
+// Op is one element of an AccessBatch: the access Machine.Access(VPN,
+// Write) would issue.
+type Op struct {
+	VPN   uint64
+	Write bool
+}
+
+// AccessBatch issues the ops in order, exactly as the equivalent
+// sequence of Access calls would — same costs, same tick and sample
+// delivery points, byte-identical event traces. Workloads use it to
+// amortise per-access loop bookkeeping (budget checks, stepper
+// indirection) across a buffer of pre-generated accesses; ops whose
+// generation depends on machine state mutated mid-batch (frees,
+// reservations) must keep using Access.
+func (m *Machine) AccessBatch(ops []Op) {
+	for i := range ops {
+		m.Access(ops[i].VPN, ops[i].Write)
 	}
 }
 
@@ -334,10 +431,12 @@ func (m *Machine) Access(vpn uint64, write bool) {
 func (m *Machine) Reserve(bytes uint64) vm.Region { return m.AS.Reserve(bytes) }
 
 // FreeRegion unmaps a region (short-lived allocations). The freeing
-// thread pays a small per-page teardown cost.
+// thread pays a small per-page teardown cost; ticks and samples due
+// during a large free are delivered inside it, not deferred to the
+// next access.
 func (m *Machine) FreeRegion(r vm.Region) {
 	m.AS.Free(r)
-	m.now += r.Pages * 120 // munmap + page-table teardown per page
+	m.advance(r.Pages * 120) // munmap + page-table teardown per page
 }
 
 func (m *Machine) record() {

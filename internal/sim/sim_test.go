@@ -225,3 +225,43 @@ func TestAccessObserver(t *testing.T) {
 		t.Fatalf("observer saw %d", seen)
 	}
 }
+
+// TestFreeRegionDeliversTicks: a large munmap advances the clock past
+// tick boundaries, and those ticks must fire inside the free — the
+// seed bumped m.now directly, deferring them to the next access.
+func TestFreeRegionDeliversTicks(t *testing.T) {
+	cfg := testCfg()
+	cfg.TickNS = 100_000
+	pol := &countingPolicy{place: tier.NoTier}
+	m := NewMachine(cfg, pol)
+	r := m.Reserve(8 << 20) // 2048 pages: teardown = 245,760ns
+	m.FreeRegion(r)
+	if pol.ticks != 2 {
+		t.Fatalf("ticks delivered during FreeRegion = %d, want 2", pol.ticks)
+	}
+	if want := uint64(2048 * 120); m.Now() != want {
+		t.Fatalf("clock after free = %d, want %d", m.Now(), want)
+	}
+}
+
+// TestAdvanceBackgroundDeliversTicks: background time advances deliver
+// due policy ticks and series samples, same as access-driven time.
+func TestAdvanceBackgroundDeliversTicks(t *testing.T) {
+	cfg := testCfg()
+	cfg.TickNS = 50_000
+	cfg.RecordNS = 60_000
+	pol := &countingPolicy{place: tier.NoTier}
+	m := NewMachine(cfg, pol)
+	m.AdvanceBackground(125_000)
+	if pol.ticks != 2 {
+		t.Fatalf("ticks delivered during AdvanceBackground = %d, want 2", pol.ticks)
+	}
+	if len(m.series) != 1 {
+		t.Fatalf("series samples = %d, want 1", len(m.series))
+	}
+	// The catch-up must schedule strictly ahead of the clock.
+	if m.nextTick <= m.now || m.nextRecord <= m.now {
+		t.Fatalf("catch-up left a due deadline: now=%d tick=%d record=%d",
+			m.now, m.nextTick, m.nextRecord)
+	}
+}

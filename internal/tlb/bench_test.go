@@ -1,0 +1,60 @@
+// Translation micro-benchmarks: Access is called once per simulated
+// memory access, so its hit path is the tightest inner loop in the
+// repository after the machine core itself. Benchmarked per path —
+// resident hits, capacity misses, and huge-page hits — so a regression
+// in one shows up undiluted by the others.
+package tlb
+
+import "testing"
+
+// benchVPNs precomputes a probe sequence so RNG cost stays out of the
+// measured loop. stride spaces consecutive probes; span bounds the
+// footprint in pages.
+func benchVPNs(span, stride uint64) []uint64 {
+	vpns := make([]uint64, 1<<12)
+	for i := range vpns {
+		vpns[i] = (uint64(i) * stride) % span
+	}
+	return vpns
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	tl := New(Config{})
+	// Footprint well under the 1536-entry capacity: steady state is
+	// all hits.
+	vpns := benchVPNs(1024, 7)
+	for _, v := range vpns {
+		tl.Access(v, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Access(vpns[i&(len(vpns)-1)], false)
+	}
+}
+
+func BenchmarkAccessMiss(b *testing.B) {
+	tl := New(Config{})
+	// Footprint 16x capacity with a large stride: essentially every
+	// probe walks.
+	vpns := benchVPNs(16*1536, 1031)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Access(vpns[i&(len(vpns)-1)], false)
+	}
+}
+
+func BenchmarkAccessHugeHit(b *testing.B) {
+	tl := New(Config{})
+	// 256 huge pages resident; probes spread across their subpages.
+	vpns := benchVPNs(256*512, 509)
+	for _, v := range vpns {
+		tl.Access(v, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Access(vpns[i&(len(vpns)-1)], true)
+	}
+}

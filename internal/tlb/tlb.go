@@ -5,7 +5,11 @@
 // benefit MEMTIS trades against fast-tier waste when deciding page size.
 package tlb
 
-import "memtis/internal/obs"
+import (
+	"math/bits"
+
+	"memtis/internal/obs"
+)
 
 // Walk latencies in nanoseconds. A 4KB translation walks four page-table
 // levels; a 2MB translation stops at the PMD (three levels). The values
@@ -19,60 +23,97 @@ const (
 const ways = 8 // associativity of each sub-TLB
 
 // set is one associativity set: tags plus LRU stamps. Tag 0 is reserved
-// as "invalid" (virtual page numbers are stored +1).
+// as "invalid" (virtual page numbers are stored +1). Stamps are 64-bit:
+// a 32-bit stamp wraps after 2^32 lookups — a few minutes of a sweep
+// run — and silently turns the freshest entries into eviction victims.
 type set struct {
 	tags [ways]uint64
-	used [ways]uint32
+	used [ways]uint64
 }
 
 // subTLB is an 8-way set-associative TLB with true-LRU replacement
-// within each set.
+// within each set. The lookup counter doubles as the LRU clock: both
+// advance by exactly one per probe, so keeping two counters would be
+// redundant work on the hottest path of the simulator.
 type subTLB struct {
 	sets    []set
-	mask    uint64
-	tick    uint32
+	mask    uint64 // nSets-1 when nSets is a power of two, else 0
+	nSets   uint64
+	magic   uint64 // Lemire fastmod multiplier for non-power-of-two nSets
+	walkNS  uint64 // page-walk cost charged on a miss
 	lookups uint64
 	misses  uint64
 }
 
-func newSubTLB(entries int) *subTLB {
-	nSets := entries / ways
+// newSubTLB builds a sub-TLB that honours the configured entry count
+// exactly: the set count is entries/ways rounded UP, never down.
+// (Rounding down silently modelled a 1024-entry TLB when 1536 was
+// configured: 1536/8 = 192 sets truncated to the 128-set power of two.)
+// Power-of-two set counts index with a mask; other counts use an exact
+// fastmod so the hot path never executes a hardware divide.
+func newSubTLB(entries int, walkNS uint64) subTLB {
+	nSets := (entries + ways - 1) / ways
 	if nSets < 1 {
 		nSets = 1
 	}
-	// Round down to a power of two for cheap indexing.
-	p := 1
-	for p*2 <= nSets {
-		p *= 2
+	t := subTLB{sets: make([]set, nSets), nSets: uint64(nSets), walkNS: walkNS}
+	if nSets&(nSets-1) == 0 {
+		t.mask = uint64(nSets - 1)
+	} else {
+		// floor(2^64/d)+1: with 32-bit operands, mulhi(magic*x, d) is
+		// exactly x%d (Lemire, "Faster remainders when the divisor is a
+		// constant"). VPNs are dense bump-allocator indexes, so the
+		// 32-bit precondition holds for any simulable footprint; index()
+		// still guards it.
+		t.magic = ^uint64(0)/uint64(nSets) + 1
 	}
-	return &subTLB{sets: make([]set, p), mask: uint64(p - 1)}
+	return t
 }
 
-// lookup probes for vpn, inserting it on a miss. Returns true on hit.
-func (t *subTLB) lookup(vpn uint64) bool {
+// index maps vpn to its set. Keeping vpn%nSets semantics (rather than a
+// hash) preserves the low-bit set indexing of real TLBs: consecutive
+// pages land in consecutive sets.
+func (t *subTLB) index(vpn uint64) uint64 {
+	if t.mask != 0 {
+		return vpn & t.mask
+	}
+	if vpn < 1<<32 {
+		hi, _ := bits.Mul64(t.magic*vpn, t.nSets)
+		return hi
+	}
+	return vpn % t.nSets
+}
+
+// lookup probes for vpn, inserting it on a miss, and returns the
+// page-walk cost charged (0 on a hit). The hit path scans tags only;
+// LRU victim selection is deferred to the miss path so the common case
+// does half the comparisons.
+func (t *subTLB) lookup(vpn uint64) uint64 {
 	t.lookups++
-	t.tick++
-	s := &t.sets[vpn&t.mask]
+	stamp := t.lookups
+	s := &t.sets[t.index(vpn)]
 	tag := vpn + 1
-	victim := 0
 	for i := 0; i < ways; i++ {
 		if s.tags[i] == tag {
-			s.used[i] = t.tick
-			return true
+			s.used[i] = stamp
+			return 0
 		}
+	}
+	t.misses++
+	victim := 0
+	for i := 1; i < ways; i++ {
 		if s.used[i] < s.used[victim] {
 			victim = i
 		}
 	}
-	t.misses++
 	s.tags[victim] = tag
-	s.used[victim] = t.tick
-	return false
+	s.used[victim] = stamp
+	return t.walkNS
 }
 
 // invalidate drops vpn if present (TLB shootdown of one mapping).
 func (t *subTLB) invalidate(vpn uint64) {
-	s := &t.sets[vpn&t.mask]
+	s := &t.sets[t.index(vpn)]
 	tag := vpn + 1
 	for i := 0; i < ways; i++ {
 		if s.tags[i] == tag {
@@ -94,10 +135,11 @@ type Config struct {
 // DefaultConfig returns the TLB geometry used throughout the evaluation.
 func DefaultConfig() Config { return Config{Entries4K: 1536, Entries2M: 1024} }
 
-// TLB models split 4K/2M translation caches.
+// TLB models split 4K/2M translation caches. The sub-TLBs are held by
+// value so Access reaches their sets with one indirection, not two.
 type TLB struct {
-	l4k *subTLB
-	l2m *subTLB
+	l4k subTLB
+	l2m subTLB
 
 	// Trace receives invalidate/flush events. The per-access lookup
 	// path (Access) never emits — only the rare maintenance operations
@@ -114,23 +156,22 @@ func New(cfg Config) *TLB {
 	if cfg.Entries2M <= 0 {
 		cfg.Entries2M = def.Entries2M
 	}
-	return &TLB{l4k: newSubTLB(cfg.Entries4K), l2m: newSubTLB(cfg.Entries2M)}
+	return &TLB{l4k: newSubTLB(cfg.Entries4K, Walk4KNS), l2m: newSubTLB(cfg.Entries2M, Walk2MNS)}
 }
 
 // Access translates the access to the base-page number vpn, mapped by a
 // huge page or a base page, and returns the translation cost in
-// nanoseconds (0 on a TLB hit).
+// nanoseconds (0 on a TLB hit). Single lookup call site and the walk
+// cost stored in the sub-TLB itself: this keeps Access within the
+// inlining budget, so the simulator's hot loop pays one call here, not
+// two.
 func (t *TLB) Access(vpn uint64, huge bool) uint64 {
+	sub := &t.l4k
 	if huge {
-		if t.l2m.lookup(vpn / 512) {
-			return 0
-		}
-		return Walk2MNS
+		sub = &t.l2m
+		vpn >>= 9
 	}
-	if t.l4k.lookup(vpn) {
-		return 0
-	}
-	return Walk4KNS
+	return sub.lookup(vpn)
 }
 
 // Invalidate removes the translation covering vpn (huge selects the 2M

@@ -109,6 +109,76 @@ func TestDefaultsApplied(t *testing.T) {
 	}
 }
 
+// TestConfiguredCapacityExact: the effective capacity equals the
+// configured entry count. 1536 entries = 192 sets x 8 ways — not a
+// power of two; the seed rounded the set count down to 128 and
+// silently modelled a 1024-entry TLB. A sequential fill of exactly
+// Entries4K pages places exactly `ways` tags in every set, so a full
+// re-probe must hit on every one.
+func TestConfiguredCapacityExact(t *testing.T) {
+	tl := New(Config{Entries4K: 1536, Entries2M: 16})
+	n := uint64(1536)
+	for i := uint64(0); i < n; i++ {
+		tl.Access(i, false)
+	}
+	for i := uint64(0); i < n; i++ {
+		if c := tl.Access(i, false); c != 0 {
+			t.Fatalf("vpn %d missed on re-probe: configured capacity not honoured", i)
+		}
+	}
+	if got := tl.Stats().Misses4K; got != n {
+		t.Fatalf("misses = %d, want %d (cold fill only)", got, n)
+	}
+}
+
+// TestSetCountRoundsUp: entry counts that don't divide evenly by the
+// associativity round the set count up, never down.
+func TestSetCountRoundsUp(t *testing.T) {
+	for _, tc := range []struct {
+		entries int
+		nSets   uint64
+	}{{1536, 192}, {1537, 193}, {1024, 128}, {1, 1}, {0, 1}} {
+		if st := newSubTLB(tc.entries, Walk4KNS); st.nSets != tc.nSets {
+			t.Fatalf("entries=%d: nSets=%d, want %d", tc.entries, st.nSets, tc.nSets)
+		}
+	}
+}
+
+// TestIndexFastmod: set indexing keeps vpn%nSets semantics for every
+// geometry — masked power-of-two, fastmod, and the >=2^32 guard path.
+func TestIndexFastmod(t *testing.T) {
+	for _, entries := range []int{8, 24, 40, 1536, 1544} {
+		st := newSubTLB(entries, Walk4KNS)
+		for _, vpn := range []uint64{0, 1, 191, 192, 193, 12345, 1<<32 - 1, 1 << 32, 1<<33 + 7} {
+			if got, want := st.index(vpn), vpn%st.nSets; got != want {
+				t.Fatalf("entries=%d vpn=%d: index=%d, want %d", entries, vpn, got, want)
+			}
+		}
+	}
+}
+
+// TestLRUStampSurvives32BitWrap: the LRU clock is 64-bit. With the old
+// 32-bit stamps, entries touched after lookup 2^32 looked older than
+// everything else and became permanent eviction victims.
+func TestLRUStampSurvives32BitWrap(t *testing.T) {
+	st := newSubTLB(64, Walk4KNS) // 8 sets x 8 ways; vpns ≡ 0 (mod 8) share set 0
+	st.lookups = 1<<32 - 4        // stamps cross 2^32 mid-fill
+	for i := uint64(0); i < 8; i++ {
+		st.lookup(i * 8)
+	}
+	// A 9th tag must evict the oldest entry (vpn 0), not one whose
+	// stamp a 32-bit clock would have truncated to ~0.
+	st.lookup(8 * 8)
+	for i := uint64(1); i <= 8; i++ {
+		if st.lookup(i*8) != 0 {
+			t.Fatalf("vpn %d evicted: LRU order corrupted across the 2^32 boundary", i*8)
+		}
+	}
+	if st.lookup(0) == 0 {
+		t.Fatal("oldest entry should have been the eviction victim")
+	}
+}
+
 // TestQuickRepeatIsHit: immediately repeating any access is always a hit.
 func TestQuickRepeatIsHit(t *testing.T) {
 	tl := New(Config{})

@@ -1,0 +1,35 @@
+// Touch is the first call of every simulated access; these benchmarks
+// pin the cost of its mapped fast path (the ~100% case in steady
+// state) for both page kinds, read and write.
+package vm
+
+import "testing"
+
+// benchAS returns an address space with one pre-faulted region and a
+// probe sequence over it.
+func benchAS(b *testing.B, thp bool) (*AddressSpace, []uint64) {
+	b.Helper()
+	as := newAS(nil, 64, 64, thp)
+	r := as.Reserve(32 << 20)
+	for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
+		as.Touch(vpn, false)
+	}
+	vpns := make([]uint64, 1<<12)
+	for i := range vpns {
+		vpns[i] = r.BaseVPN + (uint64(i)*2654435761)%r.Pages
+	}
+	return as, vpns
+}
+
+func benchTouch(b *testing.B, thp, write bool) {
+	as, vpns := benchAS(b, thp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Touch(vpns[i&(len(vpns)-1)], write)
+	}
+}
+
+func BenchmarkTouchMappedHugeRead(b *testing.B)  { benchTouch(b, true, false) }
+func BenchmarkTouchMappedHugeWrite(b *testing.B) { benchTouch(b, true, true) }
+func BenchmarkTouchMappedBaseRead(b *testing.B)  { benchTouch(b, false, false) }

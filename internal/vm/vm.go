@@ -318,36 +318,53 @@ func (as *AddressSpace) placeFor(huge bool, vpn uint64) tier.ID {
 // touch (THP maps the surrounding 2MB block as a huge page when
 // eligible) and returns the mapping plus any fault cost. Write touches
 // mark the subpage as non-zero for later bloat reclaim.
+//
+// The already-mapped case is the simulator's hot path: one bounds
+// check, one table load, no calls (markTouched stays branch-only once
+// the subpage has been written). The fault path lives in touchFault so
+// this body stays small.
 func (as *AddressSpace) Touch(vpn uint64, write bool) TouchResult {
+	if vpn < uint64(len(as.table)) {
+		if pg := as.table[vpn]; pg != nil {
+			res := TouchResult{Page: pg, Tier: pg.Tier}
+			if pg.Kind == HugePage {
+				res.SubIdx = int(vpn - pg.VPN)
+			}
+			if write {
+				pg.markTouched(res.SubIdx)
+			}
+			return res
+		}
+	}
+	return as.touchFault(vpn, write)
+}
+
+// touchFault is Touch's slow path: first touch of a reserved vpn (or a
+// touch of an unreserved one, which is a workload bug and panics).
+func (as *AddressSpace) touchFault(vpn uint64, write bool) TouchResult {
 	if vpn >= as.nextVPN {
 		panic(fmt.Sprintf("vm: touch of unreserved vpn %d", vpn))
 	}
-	pg := as.table[vpn]
 	var res TouchResult
-	if pg == nil {
-		res.Faulted = true
-		as.stats.Faults++
-		if as.THP && as.hugeEligible(vpn) {
-			pg = as.mapHuge(vpn - vpn%tier.SubPages)
-			res.FaultNS = HugeFaultNS
-		} else {
-			pg = as.mapBase(vpn)
-			res.FaultNS = BaseFaultNS
-		}
-		as.stats.FaultNS += res.FaultNS
-		as.Trace.Emit(obs.EvDemandFault, pg.VPN, pg.IsHuge(), pg.Bytes(), res.FaultNS)
+	res.Faulted = true
+	as.stats.Faults++
+	var pg *Page
+	if as.THP && as.hugeEligible(vpn) {
+		pg = as.mapHuge(vpn - vpn%tier.SubPages)
+		res.FaultNS = HugeFaultNS
+	} else {
+		pg = as.mapBase(vpn)
+		res.FaultNS = BaseFaultNS
 	}
+	as.stats.FaultNS += res.FaultNS
+	as.Trace.Emit(obs.EvDemandFault, pg.VPN, pg.IsHuge(), pg.Bytes(), res.FaultNS)
 	res.Page = pg
 	res.Tier = pg.Tier
 	if pg.IsHuge() {
 		res.SubIdx = int(vpn - pg.VPN)
 	}
 	if write {
-		if pg.IsHuge() {
-			pg.markTouched(res.SubIdx)
-		} else {
-			pg.markTouched(0)
-		}
+		pg.markTouched(res.SubIdx)
 	}
 	return res
 }

@@ -149,15 +149,17 @@ func (s *Synthetic) Run(m *sim.Machine, accesses uint64) {
 		total += p.Weight
 		weights = append(weights, total)
 	}
-	for m.Accesses() < accesses {
+	// The steady mix is a pure stepper (regions are fixed by now), so
+	// it goes through the batched issue path.
+	issueBatched(m, accesses, func() (uint64, bool) {
 		pick := rng.Intn(total)
 		idx := 0
 		for weights[idx] <= pick {
 			idx++
 		}
 		ph := phases[idx]
-		m.Access(ph.reg.r.BaseVPN+ph.src.Next(), rng.Intn(100) < ph.write)
-	}
+		return ph.reg.r.BaseVPN + ph.src.Next(), rng.Intn(100) < ph.write
+	})
 }
 
 var _ sim.Workload = (*Synthetic)(nil)

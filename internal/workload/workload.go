@@ -74,6 +74,11 @@ type stepper func() (vpn uint64, write bool)
 type W struct {
 	spec  Spec
 	build func(c *ctx) stepper
+	// stateful marks steppers that mutate machine state between
+	// accesses (Reserve/FreeRegion churn): their accesses must be
+	// issued one at a time, because pre-generating a batch would run
+	// the mutation before earlier accesses reach the machine.
+	stateful bool
 }
 
 // Name implements sim.Workload.
@@ -82,10 +87,19 @@ func (w *W) Name() string { return w.spec.Name }
 // Spec returns the benchmark's Table 2 description.
 func (w *W) Spec() Spec { return w.spec }
 
+// batchSize is the steady-phase issue granularity: large enough to
+// amortise the per-access budget check and stepper indirection, small
+// enough that the Op buffer stays L1-resident (4KB).
+const batchSize = 256
+
 // Run implements sim.Workload: the build function performs the
 // initialisation phase (allocations and first-touch writes count toward
 // the access budget), then the steady-phase stepper is driven until the
-// budget is exhausted.
+// budget is exhausted. Pure steppers are issued through
+// sim.Machine.AccessBatch — byte-identical to access-at-a-time (the
+// batch API's contract, pinned by TestAccessBatchMatchesSequential) but
+// with the loop bookkeeping amortised; stateful steppers (allocation
+// churn) keep the one-at-a-time path.
 func (w *W) Run(m *sim.Machine, accesses uint64) {
 	c := &ctx{
 		m:      m,
@@ -94,9 +108,36 @@ func (w *W) Run(m *sim.Machine, accesses uint64) {
 		spec:   w.spec,
 	}
 	step := w.build(c)
-	for m.Accesses() < accesses {
-		vpn, write := step()
-		m.Access(vpn, write)
+	if w.stateful {
+		for m.Accesses() < accesses {
+			vpn, write := step()
+			m.Access(vpn, write)
+		}
+		return
+	}
+	issueBatched(m, accesses, step)
+}
+
+// issueBatched drives a pure stepper until the machine has issued
+// budget accesses, filling a fixed Op buffer and handing it to
+// AccessBatch. Each Access advances m.Accesses() by exactly one and
+// nothing else does, so issuing min(batchSize, remaining) ops per round
+// lands on the budget exactly, as the per-access check would.
+func issueBatched(m *sim.Machine, budget uint64, step stepper) {
+	var buf [batchSize]sim.Op
+	for {
+		done := m.Accesses()
+		if done >= budget {
+			return
+		}
+		n := budget - done
+		if n > batchSize {
+			n = batchSize
+		}
+		for i := uint64(0); i < n; i++ {
+			buf[i].VPN, buf[i].Write = step()
+		}
+		m.AccessBatch(buf[:n])
 	}
 }
 
@@ -125,7 +166,9 @@ func New(name string) (*W, error) {
 	case "654.roms":
 		build = buildRoms
 	}
-	return &W{spec: spec, build: build}, nil
+	// bwaves' stepper reserves and frees its short-lived buffers
+	// between accesses, so its accesses cannot be pre-generated.
+	return &W{spec: spec, build: build, stateful: name == "603.bwaves"}, nil
 }
 
 // NewScaled builds the named benchmark with an overridden paper-scale
@@ -202,13 +245,27 @@ func (c *ctx) reserveSmall(total uint64) []region {
 func (r region) vpnAt(i uint64) uint64 { return r.r.BaseVPN + i%r.pages }
 
 // touchAll writes one word per page sequentially (first-touch init),
-// counting toward the access budget.
+// counting toward the access budget. Issued in batches: the init sweep
+// is a pure function of the region, so pre-generating it is safe.
 func (c *ctx) touchAll(r region) {
-	for i := uint64(0); i < r.pages; i++ {
-		if c.m.Accesses() >= c.budget {
+	var buf [batchSize]sim.Op
+	for i := uint64(0); i < r.pages; {
+		done := c.m.Accesses()
+		if done >= c.budget {
 			return
 		}
-		c.m.Access(r.r.BaseVPN+i, true)
+		n := c.budget - done
+		if n > batchSize {
+			n = batchSize
+		}
+		if rem := r.pages - i; n > rem {
+			n = rem
+		}
+		for k := uint64(0); k < n; k++ {
+			buf[k] = sim.Op{VPN: r.r.BaseVPN + i + k, Write: true}
+		}
+		c.m.AccessBatch(buf[:n])
+		i += n
 	}
 }
 
