@@ -68,7 +68,7 @@ type Bench struct {
 
 func main() {
 	var (
-		pkgs       = flag.String("pkgs", "./internal/sim,./internal/vm,./internal/tlb,./internal/bench", "comma-separated packages holding the benchmark suite")
+		pkgs       = flag.String("pkgs", "./internal/sim,./internal/vm,./internal/tlb,./internal/bench,./internal/core", "comma-separated packages holding the benchmark suite")
 		benchRe    = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
 		benchtime  = flag.String("benchtime", "300ms", "go test -benchtime (use 1x for a smoke run)")
 		count      = flag.Int("count", 1, "go test -count; with >1 the best (minimum) ns/op per benchmark is recorded")

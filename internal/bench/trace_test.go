@@ -34,7 +34,13 @@ func readTraces(t *testing.T, dir string) map[string][]byte {
 // diffable like any other output.
 func TestEventTraceGolden(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Accesses = 200_000
+	// Long enough for at least one threshold adaptation: promotions are
+	// sample-driven, so a run that ends before the first Algorithm-1
+	// adaptation legitimately produces none (demand allocation fills the
+	// fast tier with pages that register as hot). At 300k accesses the
+	// cell promotes a few hundred pages — a robust target for the
+	// all-kinds-present assertion below.
+	cfg.Accesses = 300_000
 	ws := []string{"silo"}
 	rs := []Ratio{Ratio1to8}
 	ps := []string{"memtis"}

@@ -1,0 +1,123 @@
+// Cooling and tick benchmarks: the background-work side of the policy,
+// complementing the per-access benchmarks in internal/bench. The
+// BenchmarkCooling/rss=* pair is the scaling guard for DESIGN.md §8 —
+// background cost per cooling event must stay sublinear in resident
+// pages (an O(RSS) scan reintroduced into the cooling path shows up as
+// ns/cooling growing ~16x from rss=64k to rss=1m).
+package memtis
+
+import (
+	"fmt"
+	"testing"
+
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+)
+
+// coolingMachine builds a THP-off machine with rssPages resident base
+// pages registered with the policy, the worst case for a full-table
+// scan (one Page object per 4KB unit).
+func coolingMachine(rssPages uint64) (*Policy, *sim.Machine) {
+	pol := New(Config{
+		Sampler: everySample(),
+		// Schedule-driven adaptation/cooling off: benchmarks drive
+		// cooling explicitly via DebugForceCool.
+		AdaptEvery: 1 << 62,
+		CoolEvery:  1 << 62,
+	})
+	fastBytes := rssPages * tier.BasePageSize / 8
+	if fastBytes < 2*tier.HugePageSize {
+		fastBytes = 2 * tier.HugePageSize
+	}
+	m := sim.NewMachine(sim.Config{
+		FastBytes: fastBytes,
+		CapBytes:  rssPages*tier.BasePageSize + 64*tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       false,
+		Seed:      1,
+	}, pol)
+	r := m.Reserve(rssPages * tier.BasePageSize)
+	for i := uint64(0); i < r.Pages; i++ {
+		m.Access(r.BaseVPN+i, true)
+	}
+	return pol, m
+}
+
+func BenchmarkCooling(b *testing.B) {
+	for _, rss := range []struct {
+		name  string
+		pages uint64
+	}{{"rss=64k", 64 << 10}, {"rss=1m", 1 << 20}} {
+		b.Run(rss.name, func(b *testing.B) {
+			pol, _ := coolingMachine(rss.pages)
+			pol.DebugForceCool() // drain registration-time work once
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pol.DebugForceCool()
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyTick measures one kmigrated wake in steady state (no
+// migrations due): split queue empty, promotion queue empty, free
+// space above target — what remains is the tick's fixed bookkeeping
+// plus the bounded cooling sweep.
+func BenchmarkPolicyTick(b *testing.B) {
+	pol, _ := coolingMachine(64 << 10)
+	pol.DebugForceCool()
+	now := pol.nextWake
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Tick(now)
+		now += pol.cfg.KmigratedPeriodNS
+	}
+}
+
+// TestCoolingBackgroundSublinearInRSS is the deterministic CI gate for
+// the DESIGN.md §8 complexity contract: the virtual background cost
+// charged per cooling event must not grow linearly with resident
+// pages. Growing RSS 16x must grow the per-cooling charge by < 2x —
+// the eager full-scan implementation charged ~16x and fails this test
+// if reintroduced. Virtual ns are deterministic, so the bound is exact
+// and safe on noisy CI runners.
+func TestCoolingBackgroundSublinearInRSS(t *testing.T) {
+	perCooling := func(rssPages uint64) uint64 {
+		pol, _ := coolingMachine(rssPages)
+		pol.DebugForceCool() // absorb one-time registration backlog
+		before := pol.BackgroundNS()
+		pol.DebugForceCool()
+		return pol.BackgroundNS() - before
+	}
+	small := perCooling(16 << 10)
+	big := perCooling(256 << 10)
+	if small == 0 {
+		small = 1
+	}
+	if growth := float64(big) / float64(small); growth >= 2 {
+		t.Fatalf("background cost per cooling grew %.1fx over a 16x RSS growth (%d -> %d ns); "+
+			"cooling must stay O(changed pages + bounded sweep), not O(RSS)", growth, small, big)
+	}
+}
+
+// TestCoolingSteadyStateAllocs pins the scratch-buffer reuse contract:
+// a cooling event with no intervening mutations allocates nothing
+// (the eager implementation rebuilt a block map and a candidate slice
+// on every call).
+func TestCoolingSteadyStateAllocs(t *testing.T) {
+	pol, _ := coolingMachine(16 << 10)
+	pol.DebugForceCool()
+	pol.DebugForceCool() // warm scratch buffers
+	if avg := testing.AllocsPerRun(10, func() { pol.DebugForceCool() }); avg > 0 {
+		t.Fatalf("steady-state cooling allocates %.1f objects per event, want 0", avg)
+	}
+}
+
+func ExamplePolicy_DebugForceCool() {
+	pol, _ := coolingMachine(1 << 10)
+	pol.DebugForceCool()
+	fmt.Println(pol.Coolings() >= 1)
+	// Output: true
+}

@@ -11,9 +11,19 @@
 // strictly in the background (kmigrated), and splits highly skewed huge
 // pages when the estimated base-page hit ratio (eHR) sufficiently
 // exceeds the measured fast-tier hit ratio (rHR).
+//
+// Background work is incremental (DESIGN.md §8): cooling is a lazy
+// global epoch applied per page on the next touch plus a bounded cursor
+// sweep, demotion candidates live in incrementally-maintained per-bin
+// lists, and collapse candidates come from per-2MB-block presence
+// counters feeding a verified ready queue — no policy path scans the
+// whole address space, so background cost per cooling is O(changed
+// pages + bounded sweep), independent of RSS.
 package memtis
 
 import (
+	"math"
+
 	"memtis/internal/histogram"
 	"memtis/internal/obs"
 	"memtis/internal/pebs"
@@ -25,8 +35,11 @@ import (
 // Page flag bits in vm.Page.PFlags used by this policy.
 const (
 	flagInPromo = 1 << iota
-	flagInDemoCold
-	flagInDemoWarm
+	// flagInFastList: the page is linked into fastByBin[pg.Bin] at
+	// index pg.PIdx. Every registered fast-tier page carries this flag
+	// except transiently after a failed demotion (the cooling sweep
+	// re-links such orphans).
+	flagInFastList
 	flagRegistered
 	flagScanRef // accessed since the last hybrid accessed-bit scan
 )
@@ -34,9 +47,9 @@ const (
 // Background work cost model (ns); scaled by the same residual
 // time-compression factor as package vm's costs (see DESIGN.md §4).
 const (
-	coolPageScanNS  = 4       // halve one page's counter + histogram fixup
+	coolPageScanNS  = 4       // apply one page's pending cooling + histogram fixup
 	coolSubScanNS   = 1       // halve one subpage counter
-	listScanPageNS  = 2       // demotion-list rebuild visit
+	listScanPageNS  = 2       // sweep/scan visit of one page
 	migBandwidthBPS = 8 << 30 // background migration copy bandwidth (~one core of kmigrated)
 )
 
@@ -79,6 +92,15 @@ type Config struct {
 	// HybridScanPeriodNS is the accessed-bit scan period (default 4ms
 	// virtual when HybridScan is set).
 	HybridScanPeriodNS uint64
+	// HybridScanPages bounds one accessed-bit scan event to a window of
+	// pages, resumed from a cursor like the kernel's LRU walkers
+	// (default 512).
+	HybridScanPages int
+	// CoolSweepPages bounds the per-wake cooling-convergence sweep: up
+	// to this many pages get their pending cooling epochs applied per
+	// kmigrated wake, so pages the sampler never revisits still
+	// converge within RSS/CoolSweepPages wakes (default 256).
+	CoolSweepPages int
 }
 
 func (c *Config) fillDefaults(fastUnits, rssHintUnits uint64) {
@@ -112,7 +134,23 @@ func (c *Config) fillDefaults(fastUnits, rssHintUnits uint64) {
 	if c.HybridScan && c.HybridScanPeriodNS == 0 {
 		c.HybridScanPeriodNS = 4_000_000
 	}
+	if c.HybridScanPages == 0 {
+		c.HybridScanPages = 512
+	}
+	if c.CoolSweepPages == 0 {
+		c.CoolSweepPages = 256
+	}
 	_ = rssHintUnits
+}
+
+// blockState tracks one aligned 2MB block of base pages for collapse
+// candidacy (§4.3.3): present counts live base pages in the block;
+// queued dedups membership in the ready queue. Hotness is not counted
+// here — it would go stale under threshold motion — readiness is
+// verified per candidate when the queue drains at cooling.
+type blockState struct {
+	present uint16
+	queued  bool
 }
 
 // Policy is the MEMTIS tiering policy. Create one per machine run.
@@ -136,16 +174,50 @@ type Policy struct {
 	coolings    *uint64
 	adaptations *uint64
 	samples     *uint64
+	lazyApplied *uint64 // cool_lazy_applied: pending epochs applied on touch/sweep
+	sweepPages  *uint64 // cool_sweep_pages: pages visited by the convergence sweep
+	readyCtr    *uint64 // collapse_ready: blocks enqueued as collapse candidates
+	busyGauge   *uint64 // bg_share_mcores: BusyCores EMA in millicores
+	busyPeak    *uint64 // bg_share_peak_mcores: max of the same
 
 	trace *obs.Tracer
 
-	promo    []*vm.Page
-	demoCold []*vm.Page
-	demoWarm []*vm.Page
+	promo []*vm.Page
 
-	nextWake    uint64
-	nextScan    uint64
-	rebuiltWake bool
+	// fastByBin holds every registered fast-tier page, keyed by its
+	// cached histogram bin, with flagInFastList/PIdx as the intrusive
+	// back-reference (swap-remove, O(1) membership changes). Demotion
+	// pops coldest bins first; there is no rebuild scan — membership is
+	// maintained at every point that already mutates Bin, Tier or
+	// registration (DESIGN.md §8).
+	fastByBin [histogram.Bins][]*vm.Page
+
+	// coolEpoch is the global cooling epoch; vm.Page.P2 is the page's
+	// last-applied epoch. Invariant: a registered page's units sit in
+	// pageHist at pg.Bin iff pg.P2 == coolEpoch; otherwise they sit at
+	// clamp(pg.Bin - delta, 0), exactly where delta Histogram.Cool()
+	// shifts left them, and applyCooling owes the page delta halvings.
+	coolEpoch   uint64
+	sweepCursor uint64
+	scanCursor  uint64
+
+	// Collapse ready queue, double-buffered so draining never aliases
+	// concurrent enqueues; oldsBuf is the reusable verification scratch
+	// (the eager implementation allocated a map plus slices per
+	// cooling).
+	blocks       map[uint64]*blockState
+	readyBlocks  []uint64
+	readyScratch []uint64
+	oldsBuf      [tier.SubPages]*vm.Page
+
+	nextWake uint64
+	nextScan uint64
+
+	// BusyCores derivation: background-ns delta over the elapsed wake
+	// window, smoothed (§4.4's overhead budget made observable).
+	busyEMA     float64
+	lastWakeNow uint64
+	lastWakeBG  uint64
 
 	// Hit-ratio estimation window (§4.3.1).
 	hrSamples     uint64
@@ -161,8 +233,9 @@ type Policy struct {
 	totFast    uint64
 	totEst     float64
 
-	// Skewness buckets rebuilt at each cooling: bucket b holds huge
-	// pages with log2(S_i) == b (clamped).
+	// Skewness buckets rebuilt each cooling epoch: bucket b holds huge
+	// pages with log2(S_i) == b (clamped), filed when their pending
+	// cooling is applied.
 	skewBuckets [48][]*vm.Page
 	skewEpoch   uint64
 
@@ -178,6 +251,12 @@ type Policy struct {
 	dbgSeen     *uint64
 
 	backgroundNS uint64
+
+	// eagerConverge is a test-only reference mode: cool() applies every
+	// pending epoch to every page before adapting thresholds,
+	// reproducing the retired eager scan's semantics exactly. The
+	// equivalence suite compares lazy runs against it.
+	eagerConverge bool
 }
 
 var _ sim.Policy = (*Policy)(nil)
@@ -217,6 +296,11 @@ func (p *Policy) Attach(m *sim.Machine) {
 	p.coolings = g.Counter("coolings")
 	p.adaptations = g.Counter("adaptations")
 	p.samples = g.Counter("samples")
+	p.lazyApplied = g.Counter("cool_lazy_applied")
+	p.sweepPages = g.Counter("cool_sweep_pages")
+	p.readyCtr = g.Counter("collapse_ready")
+	p.busyGauge = g.Gauge("bg_share_mcores")
+	p.busyPeak = g.Gauge("bg_share_peak_mcores")
 	p.splits = g.Counter("splits")
 	p.dbgQueued = g.Counter("split_queued")
 	p.dbgBucketed = g.Counter("split_bucketed")
@@ -233,6 +317,7 @@ func (p *Policy) Attach(m *sim.Machine) {
 	if p.estimateEvery < 1024 {
 		p.estimateEvery = 1024
 	}
+	p.blocks = make(map[uint64]*blockState)
 	m.AS.OnUnmap = p.onUnmap
 }
 
@@ -244,8 +329,12 @@ func (p *Policy) PlaceNew(huge bool, vpn uint64) tier.ID { return tier.NoTier }
 // BackgroundNS implements sim.Policy.
 func (p *Policy) BackgroundNS() uint64 { return p.backgroundNS + p.smp.SpentNS() }
 
-// BusyCores implements sim.Policy: ksampled/kmigrated are event-driven.
-func (p *Policy) BusyCores() float64 { return 0 }
+// BusyCores implements sim.Policy: the smoothed share of one CPU that
+// ksampled+kmigrated consumed over recent wake windows, derived from
+// the BackgroundNS delta per elapsed interval (§4.4). The same value is
+// exported as the bg_share_mcores gauge in sim.Result counters, where
+// the conformance suite bounds it.
+func (p *Policy) BusyCores() float64 { return p.busyEMA }
 
 // Capabilities implements sim.Policy: MEMTIS follows the full placement
 // and migration contract with no declared deviations.
@@ -308,14 +397,117 @@ func (p *Policy) HotSet() (hot, warm, cold uint64) {
 	return hot, warm, cold
 }
 
+// fastListAdd links a registered fast-tier page into fastByBin[pg.Bin].
+// No-op if already linked.
+func (p *Policy) fastListAdd(pg *vm.Page) {
+	if pg.PFlags&flagInFastList != 0 {
+		return
+	}
+	pg.PFlags |= flagInFastList
+	l := p.fastByBin[pg.Bin]
+	pg.PIdx = uint32(len(l))
+	p.fastByBin[pg.Bin] = append(l, pg)
+}
+
+// fastListRemove unlinks the page from fastByBin[bin] by swap-remove.
+// bin must be the bin the page was linked under (its cached Bin at link
+// time; callers changing Bin pass the old value). No-op if not linked.
+func (p *Policy) fastListRemove(pg *vm.Page, bin int) {
+	if pg.PFlags&flagInFastList == 0 {
+		return
+	}
+	pg.PFlags &^= flagInFastList
+	l := p.fastByBin[bin]
+	i := pg.PIdx
+	last := len(l) - 1
+	l[i] = l[last]
+	l[i].PIdx = i
+	l[last] = nil
+	p.fastByBin[bin] = l[:last]
+}
+
+// changeBin is the single point through which a registered page's
+// cached bin changes: it moves the page's units in the page access
+// histogram (histFrom is where the units currently sit, which differs
+// from the cached Bin while pending cooling is being applied), rebins
+// the fast-tier list membership, and feeds the collapse ready queue on
+// upward moves. The emulated base-page histogram is the caller's
+// responsibility — its bookkeeping differs between base and huge pages.
+func (p *Policy) changeBin(pg *vm.Page, histFrom, newBin int) {
+	if histFrom != newBin {
+		p.pageHist.Move(histFrom, newBin, pg.Units())
+	}
+	old := pg.Bin
+	if old == newBin {
+		return
+	}
+	pg.Bin = newBin
+	if pg.PFlags&flagInFastList != 0 {
+		p.fastListRemove(pg, old)
+		p.fastListAdd(pg)
+	}
+	// A base page turning hot may complete an all-hot block: nominate
+	// it for collapse verification at the next cooling.
+	if newBin > old && newBin >= p.th.Hot && !pg.IsHuge() && !p.cfg.SplitDisabled {
+		b := pg.VPN / tier.SubPages
+		if bs := p.blocks[b]; bs != nil && bs.present == tier.SubPages {
+			p.enqueueBlock(b, bs)
+		}
+	}
+}
+
+// blockAdd accounts a base page into its 2MB block; a block reaching
+// full presence is nominated for collapse verification.
+func (p *Policy) blockAdd(pg *vm.Page) {
+	if p.cfg.SplitDisabled {
+		return
+	}
+	b := pg.VPN / tier.SubPages
+	bs := p.blocks[b]
+	if bs == nil {
+		bs = &blockState{}
+		p.blocks[b] = bs
+	}
+	bs.present++
+	if bs.present == tier.SubPages {
+		p.enqueueBlock(b, bs)
+	}
+}
+
+// blockRemove un-accounts a base page from its 2MB block.
+func (p *Policy) blockRemove(pg *vm.Page) {
+	if p.cfg.SplitDisabled {
+		return
+	}
+	b := pg.VPN / tier.SubPages
+	bs := p.blocks[b]
+	if bs == nil {
+		return
+	}
+	if bs.present--; bs.present == 0 {
+		delete(p.blocks, b)
+	}
+}
+
+func (p *Policy) enqueueBlock(b uint64, bs *blockState) {
+	if bs.queued {
+		return
+	}
+	bs.queued = true
+	p.readyBlocks = append(p.readyBlocks, b)
+	*p.readyCtr++
+}
+
 // registerPage adds a newly faulted page to both histograms with
 // initial hotness at the current hot threshold (§4.2.1), preventing new
-// pages from being immediate demotion victims.
+// pages from being immediate demotion victims, and links it into the
+// incremental membership structures.
 func (p *Policy) registerPage(pg *vm.Page) {
 	if pg.PFlags&flagRegistered != 0 {
 		return
 	}
 	pg.PFlags |= flagRegistered
+	pg.P2 = p.coolEpoch
 	if pg.IsHuge() {
 		pg.Count = 1 << uint(p.th.Hot)
 	} else {
@@ -329,13 +521,24 @@ func (p *Policy) registerPage(pg *vm.Page) {
 		p.baseHist.Add(0, tier.SubPages)
 	} else {
 		p.baseHist.Add(pg.Bin, 1)
+		p.blockAdd(pg)
+	}
+	if pg.Tier == tier.FastTier {
+		p.fastListAdd(pg)
 	}
 }
 
-// onUnmap drops a freed page from both histograms.
+// onUnmap drops a freed page from both histograms and from the
+// membership structures, applying pending cooling first so the
+// histogram units are removed from where they actually sit.
 func (p *Policy) onUnmap(pg *vm.Page) {
 	if pg.PFlags&flagRegistered == 0 {
 		return
+	}
+	p.applyCooling(pg)
+	p.fastListRemove(pg, pg.Bin)
+	if !pg.IsHuge() {
+		p.blockRemove(pg)
 	}
 	pg.PFlags &^= flagRegistered
 	p.pageHist.Remove(pg.Bin, pg.Units())
@@ -346,6 +549,61 @@ func (p *Policy) onUnmap(pg *vm.Page) {
 	} else {
 		p.baseHist.Remove(pg.Bin, 1)
 	}
+}
+
+// applyCooling settles the page's pending cooling epochs: the halvings
+// that cool() deferred when it shifted the histograms O(bins). After
+// delta global coolings without a touch, the page's units sit in
+// pageHist at clamp(Bin-delta, 0); this halves the counters delta
+// times, moves the units to the true bin (fixing the clamping drift the
+// eager scan fixed in place), mirrors the subpage counters, and files
+// huge pages into the current epoch's skew buckets. Cost is charged per
+// page actually settled, which is what makes cooling O(changed pages).
+func (p *Policy) applyCooling(pg *vm.Page) {
+	if pg.P2 == p.coolEpoch || pg.PFlags&flagRegistered == 0 {
+		return
+	}
+	delta := p.coolEpoch - pg.P2
+	pg.P2 = p.coolEpoch
+	*p.lazyApplied++
+	shift := int(delta)
+	if delta > uint64(histogram.Bins) {
+		shift = histogram.Bins
+	}
+	shifted := pg.Bin - shift
+	if shifted < 0 {
+		shifted = 0
+	}
+	pg.Count >>= delta // shifts >= 64 yield 0 in Go: fully cooled
+	cost := uint64(coolPageScanNS)
+	p.changeBin(pg, shifted, histogram.BinOf(pg.Hotness()))
+	if pg.IsHuge() {
+		if pg.SubCount != nil {
+			cost += tier.SubPages * coolSubScanNS
+			for j := 0; j < tier.SubPages; j++ {
+				oldH := pg.SubHotness(j)
+				if oldH == 0 {
+					continue
+				}
+				sh := histogram.BinOf(oldH) - shift
+				if sh < 0 {
+					sh = 0
+				}
+				pg.SubCount[j] >>= delta
+				if tb := histogram.BinOf(pg.SubHotness(j)); tb != sh {
+					p.baseHist.Move(sh, tb, 1)
+				}
+			}
+		}
+		p.updateSkewness(pg)
+	} else {
+		// Base pages: the base-page histogram entry mirrors Bin; the
+		// shift already moved it, fix clamping drift.
+		if tb := pg.Bin; tb != shifted {
+			p.baseHist.Move(shifted, tb, 1)
+		}
+	}
+	p.backgroundNS += cost
 }
 
 // OnAccess implements sim.Policy. All MEMTIS work triggered here is
@@ -367,9 +625,9 @@ func (p *Policy) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 }
 
 // processSample is ksampled's per-record work (§4.1, steps 2-3 of
-// Figure 4): update page and subpage counters, move histogram bins,
-// account hit ratios, and enqueue newly hot capacity-tier pages for
-// promotion.
+// Figure 4): settle pending cooling, update page and subpage counters,
+// move histogram bins, account hit ratios, and enqueue newly hot
+// capacity-tier pages for promotion.
 func (p *Policy) processSample(tr vm.TouchResult) {
 	pg := tr.Page
 	if pg.Dead() {
@@ -378,15 +636,13 @@ func (p *Policy) processSample(tr vm.TouchResult) {
 	if pg.PFlags&flagRegistered == 0 {
 		p.registerPage(pg)
 	}
+	p.applyCooling(pg)
 
 	// Page access histogram update.
 	oldBin := pg.Bin
 	pg.Count++
 	newBin := histogram.BinOf(pg.Hotness())
-	if newBin != oldBin {
-		p.pageHist.Move(oldBin, newBin, pg.Units())
-		pg.Bin = newBin
-	}
+	p.changeBin(pg, oldBin, newBin)
 
 	// Emulated base-page histogram update. unitHotPrev is the 4KB
 	// unit's hotness before this sample.
@@ -473,81 +729,62 @@ func (p *Policy) adaptThresholds() {
 	p.trace.Emit(obs.EvAdapt, 0, false, 0, uint64(uint8(p.th.Hot))<<8|uint64(uint8(p.th.Warm)))
 }
 
-// cool halves every page's access count, shifts both histograms one bin
-// left, fixes top-bin residents, rebuilds demotion lists and the
-// skewness buckets (§4.2.2, §4.3.2). The scan cost is charged to
-// kmigrated's background budget.
+// cool opens a new cooling epoch (§4.2.2): both histograms shift one
+// bin left in O(bins) and the per-page halvings become a debt settled
+// lazily — on the page's next sample, scan visit, migration pop or
+// unmap, or by the bounded convergence sweep (applyCooling). The
+// skewness buckets restart for the new epoch and refill as pages
+// settle. Nothing here walks the address space; with the histograms
+// already shifted, threshold adaptation sees the same mass distribution
+// the eager scan produced (top-bin clamping drift excepted, which
+// settles with the pages).
 func (p *Policy) cool() {
 	*p.coolings++
+	p.coolEpoch++
 	p.skewEpoch++
 	p.pageHist.Cool()
 	p.baseHist.Cool()
 	for i := range p.skewBuckets {
 		p.skewBuckets[i] = p.skewBuckets[i][:0]
 	}
-	p.demoCold = p.demoCold[:0]
-	p.demoWarm = p.demoWarm[:0]
+	p.backgroundNS += 2 * histogram.Bins * coolPageScanNS
+	if p.eagerConverge {
+		p.m.AS.ForEachPage(p.applyCooling)
+	}
+	p.trace.Emit(obs.EvCooling, 0, false, 0, p.coolEpoch)
+	p.adaptThresholds()
+	p.tryCollapse()
+}
 
-	var scanned, subScanned uint64
-	p.m.AS.ForEachPage(func(pg *vm.Page) {
+// coolSweep converges pages the sampler never revisits: a bounded
+// cursor walk (CoolSweepPages per wake) settling pending cooling, so
+// every page's classification catches up within RSS/CoolSweepPages
+// wakes even if it is never sampled again. The sweep also self-heals
+// the fast-list invariant (re-linking pages dropped by a failed
+// demotion) and re-nominates full blocks whose hotness came from
+// threshold motion rather than bin changes.
+func (p *Policy) coolSweep() {
+	if p.coolEpoch == 0 {
+		return
+	}
+	n := p.cfg.CoolSweepPages
+	p.sweepCursor = p.m.AS.ForEachPageFrom(p.sweepCursor, n, func(pg *vm.Page) {
+		*p.sweepPages++
+		p.backgroundNS += listScanPageNS
 		if pg.PFlags&flagRegistered == 0 {
 			return
 		}
-		scanned++
-		shifted := pg.Bin - 1
-		if shifted < 0 {
-			shifted = 0
+		p.applyCooling(pg)
+		if pg.Tier == tier.FastTier && pg.PFlags&flagInFastList == 0 {
+			p.fastListAdd(pg)
 		}
-		pg.Count /= 2
-		trueBin := histogram.BinOf(pg.Hotness())
-		if trueBin != shifted {
-			p.pageHist.Move(shifted, trueBin, pg.Units())
-		}
-		pg.Bin = trueBin
-		if pg.IsHuge() {
-			if pg.SubCount != nil {
-				subScanned += tier.SubPages
-				for j := 0; j < tier.SubPages; j++ {
-					oldH := pg.SubHotness(j)
-					if oldH == 0 {
-						continue
-					}
-					sh := histogram.BinOf(oldH) - 1
-					if sh < 0 {
-						sh = 0
-					}
-					pg.SubCount[j] /= 2
-					tb := histogram.BinOf(pg.SubHotness(j))
-					if tb != sh {
-						p.baseHist.Move(sh, tb, 1)
-					}
-				}
-			}
-			p.updateSkewness(pg)
-		} else {
-			// Base pages: the base-page histogram entry mirrors Bin;
-			// the shift already moved it, fix clamping drift.
-			sh := shifted
-			if trueBin != sh {
-				p.baseHist.Move(sh, trueBin, 1)
-			}
-		}
-		pg.PFlags &^= flagInDemoCold | flagInDemoWarm
-		if pg.Tier == tier.FastTier {
-			switch p.th.Classify(pg.Bin) {
-			case -1:
-				pg.PFlags |= flagInDemoCold
-				p.demoCold = append(p.demoCold, pg)
-			case 0:
-				pg.PFlags |= flagInDemoWarm
-				p.demoWarm = append(p.demoWarm, pg)
+		if !pg.IsHuge() && !p.cfg.SplitDisabled && pg.Bin >= p.th.Hot {
+			b := pg.VPN / tier.SubPages
+			if bs := p.blocks[b]; bs != nil && bs.present == tier.SubPages {
+				p.enqueueBlock(b, bs)
 			}
 		}
 	})
-	p.backgroundNS += scanned*coolPageScanNS + subScanned*coolSubScanNS
-	p.trace.Emit(obs.EvCooling, 0, false, 0, scanned)
-	p.adaptThresholds()
-	p.tryCollapse()
 }
 
 // updateSkewness computes S_i = sum(H_ij^2)/U_i^2 (Eq. 3) and files the
@@ -691,10 +928,11 @@ func (p *Policy) queueSplitCandidates(n int) {
 }
 
 // Tick implements sim.Policy; kmigrated wakes on its own period and
-// runs, in order: queued huge-page splits, hot promotions (demoting
-// cold-then-warm fast-tier pages on demand), free-space maintenance,
-// and warm promotions into whatever space remains (evicting only cold
-// pages, so warm never churns against warm).
+// runs, in order: the bounded hybrid scan window, the cooling
+// convergence sweep, queued huge-page splits, hot promotions (demoting
+// cold-then-warm fast-tier pages on demand), and free-space
+// maintenance. The wake ends by folding this window's background-ns
+// delta into the BusyCores estimate.
 func (p *Policy) Tick(now uint64) {
 	if now < p.nextWake {
 		return
@@ -702,13 +940,13 @@ func (p *Policy) Tick(now uint64) {
 	for p.nextWake <= now {
 		p.nextWake += p.cfg.KmigratedPeriodNS
 	}
-	p.rebuiltWake = false
 	if p.cfg.HybridScan && now >= p.nextScan {
 		for p.nextScan <= now {
 			p.nextScan += p.cfg.HybridScanPeriodNS
 		}
 		p.hybridScan()
 	}
+	p.coolSweep()
 	budget := uint64(float64(p.cfg.KmigratedPeriodNS) / 1e9 * migBandwidthBPS)
 	if budget < 2*tier.HugePageSize {
 		// kmigrated always finishes at least one huge-page operation
@@ -718,6 +956,29 @@ func (p *Policy) Tick(now uint64) {
 	budget = p.runSplits(budget)
 	budget = p.promoteList(&p.promo, flagInPromo, true, budget)
 	p.reclaimTo(p.freeTarget(), true, &budget)
+	p.updateBusy(now)
+}
+
+// updateBusy folds the background-ns spent since the last wake into the
+// BusyCores estimate: an EMA of the per-window CPU share, exported as
+// millicore gauges so runs surface the §4.4 overhead budget.
+func (p *Policy) updateBusy(now uint64) {
+	bg := p.BackgroundNS()
+	if now > p.lastWakeNow {
+		share := float64(bg-p.lastWakeBG) / float64(now-p.lastWakeNow)
+		const a = 0.2
+		if p.busyEMA == 0 {
+			p.busyEMA = share
+		} else {
+			p.busyEMA = (1-a)*p.busyEMA + a*share
+		}
+		m := uint64(math.Round(p.busyEMA * 1000))
+		*p.busyGauge = m
+		if m > *p.busyPeak {
+			*p.busyPeak = m
+		}
+	}
+	p.lastWakeNow, p.lastWakeBG = now, bg
 }
 
 // runSplits splinters queued huge pages (§4.3.3): hot subpages go to
@@ -756,9 +1017,14 @@ func (p *Policy) splitOne(pg *vm.Page) {
 	})
 	for _, sp := range subs {
 		sp.PFlags = flagRegistered
+		sp.P2 = p.coolEpoch
 		sp.Bin = histogram.BinOf(sp.Hotness())
 		p.pageHist.Add(sp.Bin, 1)
 		p.baseHist.Add(sp.Bin, 1)
+		p.blockAdd(sp)
+		if sp.Tier == tier.FastTier {
+			p.fastListAdd(sp)
+		}
 	}
 	p.backgroundNS += ns
 	*p.splits++
@@ -789,6 +1055,9 @@ func (p *Policy) promoteList(list *[]*vm.Page, validFlag uint32, allowWarmVictim
 		pg := (*list)[0]
 		valid := !pg.Dead() && pg.Tier == tier.CapacityTier
 		if valid {
+			// Settle pending cooling so candidacy is judged on the
+			// page's current classification, not a stale bin.
+			p.applyCooling(pg)
 			if allowWarmVictims {
 				valid = pg.Bin >= p.th.Hot
 			} else {
@@ -822,13 +1091,19 @@ func (p *Policy) promoteList(list *[]*vm.Page, validFlag uint32, allowWarmVictim
 // migrate moves one page transactionally with bounded retries on
 // fault-aborted copies, charging kmigrated for the successful copy and
 // for every wasted attempt plus backoff. With faults disabled this is
-// exactly the old single-shot Migrate: no retries, no extra cost.
+// exactly the old single-shot Migrate: no retries, no extra cost. On
+// success the fast-tier list membership follows the page's new tier.
 func (p *Policy) migrate(pg *vm.Page, dst tier.ID) bool {
 	fp := p.m.Faults()
 	for attempt := 0; ; attempt++ {
 		ns, st := p.m.AS.MigrateTx(pg, dst)
 		p.backgroundNS += ns
 		if st == vm.MigrateOK {
+			if pg.Tier == tier.FastTier {
+				p.fastListAdd(pg)
+			} else {
+				p.fastListRemove(pg, pg.Bin)
+			}
 			return true
 		}
 		if st != vm.MigrateAborted || attempt >= fp.MaxRetries() {
@@ -839,42 +1114,59 @@ func (p *Policy) migrate(pg *vm.Page, dst tier.ID) bool {
 	}
 }
 
-// reclaimTo demotes fast-tier pages until the tier has at least frames
-// free: cold pages first, warm pages only if still short and allowed
-// (§4.2.3). Hot pages are never demoted.
-func (p *Policy) reclaimTo(frames uint64, allowWarm bool, budget *uint64) {
-	pop := func(list *[]*vm.Page, flag uint32) *vm.Page {
-		for len(*list) > 0 {
-			pg := (*list)[0]
-			*list = (*list)[1:]
-			pg.PFlags &^= flag
-			if pg.Dead() || pg.Tier != tier.FastTier {
+// popDemo pops the next demotion victim from the per-bin fast-tier
+// lists, coldest bins first; allowWarm extends the range to the warm
+// bins (§4.2.3 — hot bins are never eligible). The victim's pending
+// cooling is settled before it is accepted, so no page is ever demoted
+// off a stale classification. The victim is unlinked before migration:
+// a failed migration therefore drops it for this wake (no retry loop
+// against the same page) and the cooling sweep re-links it later.
+func (p *Policy) popDemo(allowWarm bool) *vm.Page {
+	limit := p.th.Cold
+	if allowWarm {
+		limit = p.th.Hot - 1
+	}
+	if limit >= histogram.Bins {
+		limit = histogram.Bins - 1
+	}
+	for b := 0; b <= limit; b++ {
+		for len(p.fastByBin[b]) > 0 {
+			l := p.fastByBin[b]
+			pg := l[len(l)-1]
+			if pg.Dead() || pg.Tier != tier.FastTier || pg.PFlags&flagRegistered == 0 {
+				// Unmap/split/migrate should have unlinked; drop
+				// defensively rather than demote a stale entry.
+				p.fastListRemove(pg, b)
 				continue
 			}
+			p.applyCooling(pg)
+			if pg.Bin != b {
+				// Settling moved it to a colder list (cooling never
+				// raises a bin); it will be found there on the next
+				// pop. This list shrank, so the loop progresses.
+				continue
+			}
+			p.fastListRemove(pg, b)
 			return pg
 		}
-		return nil
 	}
+	return nil
+}
+
+// reclaimTo demotes fast-tier pages until the tier has at least frames
+// free: cold pages first, warm pages only if still short and allowed
+// (§4.2.3). Hot pages are never demoted — they live in bins the pop
+// never reaches.
+func (p *Policy) reclaimTo(frames uint64, allowWarm bool, budget *uint64) {
 	for p.m.Fast.FreeFrames() < frames && *budget > 0 {
-		pg := pop(&p.demoCold, flagInDemoCold)
-		if pg == nil && allowWarm {
-			pg = pop(&p.demoWarm, flagInDemoWarm)
-		}
+		pg := p.popDemo(allowWarm)
 		if pg == nil {
-			if p.rebuiltWake || !p.rebuildDemoLists() {
-				return
-			}
-			p.rebuiltWake = true
-			continue
-		}
-		// Re-check classification: the page may have become hot.
-		if pg.Bin >= p.th.Hot {
-			continue
-		}
-		if !allowWarm && p.th.Classify(pg.Bin) == 0 {
-			continue
+			return
 		}
 		if pg.Bytes() > *budget {
+			// Too big for the remaining budget this wake; nothing
+			// disqualified the page itself, so relink it.
+			p.fastListAdd(pg)
 			return
 		}
 		if p.migrate(pg, tier.CapacityTier) {
@@ -883,38 +1175,17 @@ func (p *Policy) reclaimTo(frames uint64, allowWarm bool, budget *uint64) {
 	}
 }
 
-// rebuildDemoLists rescans fast-tier pages for demotion candidates when
-// both lists run dry under pressure. Returns false if nothing is
-// demotable (all fast-tier pages are hot).
-func (p *Policy) rebuildDemoLists() bool {
-	var scanned uint64
-	p.m.AS.ForEachPage(func(pg *vm.Page) {
-		scanned++
-		if pg.Tier != tier.FastTier || pg.PFlags&(flagInDemoCold|flagInDemoWarm) != 0 {
-			return
-		}
-		switch p.th.Classify(pg.Bin) {
-		case -1:
-			pg.PFlags |= flagInDemoCold
-			p.demoCold = append(p.demoCold, pg)
-		case 0:
-			pg.PFlags |= flagInDemoWarm
-			p.demoWarm = append(p.demoWarm, pg)
-		}
-	})
-	p.backgroundNS += scanned * listScanPageNS
-	return len(p.demoCold)+len(p.demoWarm) > 0
-}
-
 // hybridScan is the §8 extension: an accessed-bit sweep that detects
 // pages the sampler never observes. Untouched-since-last-scan pages
 // have their counters halved an extra time, so idle pages shed the
 // protective initial hotness they were registered with and become
 // demotion candidates without waiting for several sampling-driven
-// coolings. Touched pages just get their reference bit cleared.
+// coolings. Touched pages just get their reference bit cleared. Each
+// scan event covers a bounded window (HybridScanPages) and resumes
+// from a cursor, like the kernel's LRU walkers — never a full scan.
 func (p *Policy) hybridScan() {
 	var scanned uint64
-	p.m.AS.ForEachPage(func(pg *vm.Page) {
+	p.scanCursor = p.m.AS.ForEachPageFrom(p.scanCursor, p.cfg.HybridScanPages, func(pg *vm.Page) {
 		if pg.PFlags&flagRegistered == 0 {
 			return
 		}
@@ -923,22 +1194,16 @@ func (p *Policy) hybridScan() {
 			pg.PFlags &^= flagScanRef
 			return
 		}
+		p.applyCooling(pg)
 		if pg.Count == 0 {
 			return
 		}
 		oldBin := pg.Bin
 		pg.Count /= 2
-		pg.Bin = histogram.BinOf(pg.Hotness())
-		if pg.Bin != oldBin {
-			p.pageHist.Move(oldBin, pg.Bin, pg.Units())
-			if !pg.IsHuge() {
-				p.baseHist.Move(oldBin, pg.Bin, 1)
-			}
-		}
-		if pg.Tier == tier.FastTier && p.th.Classify(pg.Bin) == -1 &&
-			pg.PFlags&flagInDemoCold == 0 {
-			pg.PFlags |= flagInDemoCold
-			p.demoCold = append(p.demoCold, pg)
+		newBin := histogram.BinOf(pg.Hotness())
+		p.changeBin(pg, oldBin, newBin)
+		if newBin != oldBin && !pg.IsHuge() {
+			p.baseHist.Move(oldBin, newBin, 1)
 		}
 	})
 	p.backgroundNS += scanned * listScanPageNS
@@ -946,65 +1211,81 @@ func (p *Policy) hybridScan() {
 
 // tryCollapse coalesces aligned runs of 512 base pages back into a huge
 // page when every constituent is hot (§4.3.3). Done during cooling, as
-// the paper's kmigrated does; rare by design.
+// the paper's kmigrated does; rare by design. Candidates come from the
+// ready queue — blocks nominated when they reached full presence or a
+// member turned hot — and each is verified against the current
+// thresholds by rescanning only its own 512 slots, with the scratch
+// page buffer reused across coolings (no per-cooling allocation).
 func (p *Policy) tryCollapse() {
-	if p.cfg.SplitDisabled {
+	if p.cfg.SplitDisabled || len(p.readyBlocks) == 0 {
 		return
 	}
-	type blockInfo struct {
-		present int
-		hot     int
-	}
-	blocks := make(map[uint64]*blockInfo)
-	p.m.AS.ForEachPage(func(pg *vm.Page) {
-		if pg.IsHuge() {
-			return
+	ready := p.readyBlocks
+	p.readyBlocks = p.readyScratch[:0]
+	for _, b := range ready {
+		bs := p.blocks[b]
+		if bs == nil {
+			continue
 		}
-		b := pg.VPN / tier.SubPages
-		bi := blocks[b]
-		if bi == nil {
-			bi = &blockInfo{}
-			blocks[b] = bi
-		}
-		bi.present++
-		if pg.Bin >= p.th.Hot {
-			bi.hot++
-		}
-	})
-	for b, bi := range blocks {
-		if bi.present != tier.SubPages || bi.hot != tier.SubPages {
+		bs.queued = false
+		if bs.present != tier.SubPages {
 			continue
 		}
 		base := b * tier.SubPages
+		allHot := true
+		checked := uint64(0)
+		for j := uint64(0); j < tier.SubPages; j++ {
+			pg := p.m.AS.Lookup(base + j)
+			if pg == nil || pg.IsHuge() || pg.PFlags&flagRegistered == 0 {
+				allHot = false
+				break
+			}
+			p.applyCooling(pg)
+			checked++
+			if pg.Bin < p.th.Hot {
+				allHot = false
+				break
+			}
+			p.oldsBuf[j] = pg
+		}
+		p.backgroundNS += checked * listScanPageNS
+		if !allHot {
+			continue
+		}
 		dst := tier.CapacityTier
 		if p.m.Fast.HasHugeFrame() {
 			dst = tier.FastTier
-		}
-		// Unregister constituents, collapse, re-register.
-		var olds []*vm.Page
-		for j := uint64(0); j < tier.SubPages; j++ {
-			olds = append(olds, p.m.AS.Lookup(base+j))
 		}
 		hp, ns, ok := p.m.AS.Collapse(base, dst)
 		if !ok {
 			continue
 		}
-		for _, o := range olds {
-			if o != nil && o.PFlags&flagRegistered != 0 {
-				p.pageHist.Remove(o.Bin, 1)
-				p.baseHist.Remove(o.Bin, 1)
-				o.PFlags &^= flagRegistered
-			}
+		for _, o := range p.oldsBuf {
+			p.fastListRemove(o, o.Bin)
+			p.blockRemove(o)
+			p.pageHist.Remove(o.Bin, 1)
+			p.baseHist.Remove(o.Bin, 1)
+			o.PFlags &^= flagRegistered
 		}
 		hp.PFlags = flagRegistered
+		hp.P2 = p.coolEpoch
 		hp.Bin = histogram.BinOf(hp.Hotness())
 		p.pageHist.Add(hp.Bin, tier.SubPages)
 		for j := 0; j < tier.SubPages; j++ {
 			p.baseHist.Add(histogram.BinOf(hp.SubHotness(j)), 1)
 		}
+		if hp.Tier == tier.FastTier {
+			p.fastListAdd(hp)
+		}
 		p.backgroundNS += ns
 	}
+	p.readyScratch = ready[:0]
 }
+
+// DebugForceCool triggers one cooling event immediately, regardless of
+// the sample-count schedule. Benchmarks and equivalence tests use it to
+// measure and compare cooling events in isolation.
+func (p *Policy) DebugForceCool() { p.cool() }
 
 // DebugBaseHist exposes the emulated base-page histogram and its
 // thresholds for diagnostics and tests.

@@ -87,20 +87,46 @@ func TestCoolingHalvesCounts(t *testing.T) {
 	before := pg.Count
 	sub := pg.SubCount[3]
 	pol.cool()
-	if pg.Count != before/2 {
-		t.Fatalf("Count after cooling = %d, want %d", pg.Count, before/2)
-	}
-	if pg.SubCount[3] != sub/2 {
-		t.Fatalf("SubCount after cooling = %d, want %d", pg.SubCount[3], sub/2)
+	// Cooling is lazy: the event itself only shifts the histograms and
+	// opens a new epoch. The page's counters are untouched until its
+	// pending cooling is settled on the next touch.
+	if pg.Count != before {
+		t.Fatalf("Count touched by cool() itself: %d, want %d", pg.Count, before)
 	}
 	if got, want := pol.pageHist.Total(), registeredUnits(m); got != want {
 		t.Fatalf("pageHist total after cooling %d, want %d", got, want)
 	}
+	pol.applyCooling(pg)
+	if pg.Count != before/2 {
+		t.Fatalf("Count after settling = %d, want %d", pg.Count, before/2)
+	}
+	if pg.SubCount[3] != sub/2 {
+		t.Fatalf("SubCount after settling = %d, want %d", pg.SubCount[3], sub/2)
+	}
+	if got, want := pol.pageHist.Total(), registeredUnits(m); got != want {
+		t.Fatalf("pageHist total after settling %d, want %d", got, want)
+	}
 	if pg.Bin != histogram.BinOf(pg.Hotness()) {
-		t.Fatal("bin not fixed up after cooling")
+		t.Fatal("bin not fixed up after settling")
 	}
 	if pol.Coolings() != 1 {
 		t.Fatal("cooling counter")
+	}
+	// Settling is idempotent within an epoch.
+	pol.applyCooling(pg)
+	if pg.Count != before/2 {
+		t.Fatal("applyCooling not idempotent within an epoch")
+	}
+	// Two further coolings without touches, then one settle: counters
+	// catch up by the full pending delta.
+	pol.cool()
+	pol.cool()
+	pol.applyCooling(pg)
+	if pg.Count != before/8 {
+		t.Fatalf("Count after settling 2 pending epochs = %d, want %d", pg.Count, before/8)
+	}
+	if got, want := pol.pageHist.Total(), registeredUnits(m); got != want {
+		t.Fatalf("pageHist total after multi-epoch settle %d, want %d", got, want)
 	}
 }
 

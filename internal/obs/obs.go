@@ -38,8 +38,10 @@ const (
 	EvTLBInvalidate
 	// EvTLBFlush: both sub-TLBs emptied.
 	EvTLBFlush
-	// EvCooling: a policy halved its access counters. Aux = pages
-	// scanned.
+	// EvCooling: a policy halved its access counters. Cooling is lazy
+	// (counters settle when pages are next touched or swept), so the
+	// event marks the epoch advance, not a scan; Aux = the new cooling
+	// epoch.
 	EvCooling
 	// EvAdapt: hot/warm thresholds re-derived (Algorithm 1).
 	// Aux = hot<<8 | warm (histogram bin indices).

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"memtis/internal/bench"
+	"memtis/internal/pebs"
 	"memtis/internal/policy"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
@@ -221,6 +222,35 @@ func TestPolicyConformance(t *testing.T) {
 				t.Errorf("ran %d accesses, want %d", res.Accesses, cfg.Accesses)
 			}
 			p.check("final")
+			// A wake-driven daemon's busy-core estimate must stay below
+			// the machine: BusyCores is a share of real cores, not a
+			// multiplier. (MachineFor leaves Cores at the sim default
+			// of 20 — resolve it the same way fillDefaults does.)
+			cores := mc.Cores
+			if cores == 0 {
+				cores = 20
+			}
+			if bc := p.inner.BusyCores(); bc >= float64(cores) {
+				t.Errorf("%s: BusyCores %.2f >= machine cores %d", name, bc, cores)
+			}
+			if sp, ok := p.inner.(interface{ Sampler() *pebs.Sampler }); ok {
+				// Paper §4.4: ksampled self-throttles to ~3% of one CPU.
+				// Allow 2x slack for the adjustment transient at run start.
+				if cpu := sp.Sampler().AvgCPUUsage(); cpu > 0.06 {
+					t.Errorf("%s: sampler consumed %.1f%% of a core, budget is 3%%", name, cpu*100)
+				}
+				// The derived background share must be exported for runs
+				// to audit (DESIGN.md §8).
+				found := false
+				for _, mt := range res.Counters {
+					if mt.Name == name+"/bg_share_mcores" {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: bg_share_mcores gauge missing from result counters", name)
+				}
+			}
 		})
 	}
 }

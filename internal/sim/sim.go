@@ -43,9 +43,14 @@ type Policy interface {
 	Tick(now uint64)
 	// BackgroundNS returns cumulative daemon CPU time consumed so far.
 	BackgroundNS() uint64
-	// BusyCores returns cores kept permanently busy by the policy
-	// (e.g. HeMem's spinning sampler thread = 1); 0 for event-driven
-	// daemons whose cost is already in BackgroundNS.
+	// BusyCores returns the policy's current estimate of cores kept
+	// busy by its background machinery: a constant for spinning
+	// designs (HeMem's sampler thread = 1) or a smoothed share of
+	// BackgroundNS over wall time for tick-driven daemons (MEMTIS).
+	// Finish folds this into DaemonUtil as max(BackgroundNS share,
+	// BusyCores) — the two are alternative views of the same cost, so
+	// they are never summed. Return 0 when BackgroundNS alone is the
+	// whole story.
 	BusyCores() float64
 	// Capabilities declares, once and for the lifetime of the policy,
 	// which deliberate contract deviations the policy claims (see the
@@ -481,9 +486,15 @@ func (m *Machine) Finish(workload string) Result {
 	if elapsed == 0 {
 		elapsed = 1
 	}
-	// Daemon cores: event-driven CPU time amortised over the run plus
-	// permanently busy cores.
-	util := float64(daemonNS)/float64(elapsed) + busy
+	// Daemon cores: the larger of the event-driven CPU time amortised
+	// over the run and the policy's own busy-core estimate. These are
+	// two views of the same consumption — BusyCores is derived from
+	// BackgroundNS for tick-driven daemons (MEMTIS) and a constant for
+	// spinning ones (HeMem) — so summing them would double-count.
+	util := float64(daemonNS) / float64(elapsed)
+	if busy > util {
+		util = busy
+	}
 	maxUtil := float64(m.Cfg.Cores) - 1
 	if util > maxUtil {
 		util = maxUtil

@@ -83,9 +83,12 @@ type Page struct {
 
 	// Scratch words for policy-private state (recency timestamps,
 	// history vectors, list epochs, ...). Policies must not assume any
-	// value survives a change of ownership of the page.
-	P0, P1 uint64
-	PFlags uint32
+	// value survives a change of ownership of the page. P2 is the
+	// MEMTIS policy's cooling-epoch stamp (lazy cooling, DESIGN.md §8);
+	// PIdx is an intrusive slot index for policy-owned membership lists.
+	P0, P1, P2 uint64
+	PIdx       uint32
+	PFlags     uint32
 
 	dead bool
 }
@@ -691,6 +694,13 @@ func (as *AddressSpace) LivePages() int { return as.nPages }
 // must not unmap pages; it may migrate, split or update metadata of the
 // visited page (split replaces the visited page, which is safe because
 // iteration works over a snapshot of distinct pages).
+//
+// Iteration order is deterministic: pages are visited in strictly
+// ascending VPN order, independent of insertion, migration or
+// split/collapse history. Policies rely on this guarantee for
+// byte-identical traces across runs and workers; it is pinned by a
+// regression test (TestForEachPageDeterministicOrder) and must not be
+// weakened by switching the page table to an unordered container.
 func (as *AddressSpace) ForEachPage(fn func(p *Page)) {
 	snap := make([]*Page, 0, as.nPages)
 	var last *Page
@@ -705,6 +715,46 @@ func (as *AddressSpace) ForEachPage(fn func(p *Page)) {
 			fn(pg)
 		}
 	}
+}
+
+// ForEachPageFrom visits up to max live pages in ascending-VPN order
+// starting at the cursor VPN, wrapping past the end of the address
+// space back to 0, and returns the cursor to resume from (the VPN just
+// past the last slot examined). Passing the returned cursor back in
+// eventually visits every live page: a full cycle of calls covers the
+// address space once. A cursor that lands mid-huge-page (the layout
+// changed between calls) visits that page once and skips past it.
+//
+// Unlike ForEachPage this takes no snapshot — it is the bounded,
+// incremental walker for background sweeps (cooling convergence, the
+// §8 hybrid scan). The callback may migrate or update metadata of the
+// visited page but must not unmap, split or collapse pages.
+func (as *AddressSpace) ForEachPageFrom(cursor uint64, max int, fn func(p *Page)) uint64 {
+	n := uint64(len(as.table))
+	if n == 0 || max <= 0 {
+		return 0
+	}
+	if cursor >= n {
+		cursor = 0
+	}
+	visited := 0
+	// scanned bounds the walk to one full table cycle so a sparse or
+	// empty address space terminates without visiting max pages.
+	for scanned := uint64(0); scanned < n && visited < max; {
+		pg := as.table[cursor]
+		step := uint64(1)
+		if pg != nil && !pg.dead {
+			fn(pg)
+			visited++
+			step = pg.VPN + pg.Units() - cursor
+		}
+		scanned += step
+		cursor += step
+		if cursor >= n {
+			cursor = 0
+		}
+	}
+	return cursor
 }
 
 // EnsureSubCount lazily allocates the per-subpage counters of a huge
