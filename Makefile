@@ -21,6 +21,8 @@ vet:
 build:
 	$(GO) build ./...
 
+# Includes the deterministic 10-scenario conformance smoke sweep
+# (TestScenarioSmokeSweep in internal/bench).
 test:
 	$(GO) test ./...
 
@@ -33,7 +35,8 @@ docs:
 # per-machine shared-state audit, and the codec/dist suites, all under
 # -race with CI-sized budgets.
 race:
-	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestEventTraceGolden|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing' ./internal/bench ./internal/sim
+	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestEventTraceGolden|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing|TestScenarioMatrixDeterminism' ./internal/bench ./internal/sim
+	$(GO) test -race -run 'TestSharedRunnerParallelDeterminism' ./internal/scenario
 	$(GO) test -race ./internal/trace ./internal/dist ./internal/obs
 
 # Replayed continuously by `go test`; this explores beyond the seed
@@ -45,6 +48,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecoder -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/tier
+	$(GO) test -fuzz='^FuzzScenarioSpec$$' -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -fuzz='^FuzzScenarioConformance$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # Continuous benchmarking: run the hot-loop benchmark suite, write a
 # schema-stable BENCH_<n>.json snapshot, and compare against the

@@ -5,6 +5,12 @@
 // experiment runner with deterministic per-cell seeds and the
 // normalized result table is printed.
 //
+// Declarative scenarios (-scenario) replace the workload flag with a
+// spec file compiled by internal/scenario: phases, RSS churn, trace
+// replay and a fault plan all come from the file, and comma-separated
+// spec lists fan out to the same matrix runner. -gen-scenario prints
+// the seed's fuzzer-generated spec for inspection or editing.
+//
 // Usage:
 //
 //	memtis-sim -workload silo -policy memtis -ratio 1:8 -accesses 2000000
@@ -12,6 +18,9 @@
 //	memtis-sim -workload silo -policy memtis -faults rate=0.01,throttle=200us/1ms:4x
 //	memtis-sim -workload silo,btree -policy tpp,memtis -ratio 1:2,1:8 -parallel 8
 //	memtis-sim -workload all -policy memtis,hemem -ratio 1:8 -trace-events traces/
+//	memtis-sim -scenario examples/scenarios/churn.json -policy memtis -baseline
+//	memtis-sim -scenario a.json,b.json -policy memtis,hemem -parallel 8
+//	memtis-sim -gen-scenario 134 > repro.json
 //	memtis-sim -list
 package main
 
@@ -24,10 +33,13 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
 
 	"memtis/internal/bench"
 	"memtis/internal/obs"
+	"memtis/internal/scenario"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
 	"memtis/internal/workload"
@@ -49,6 +61,8 @@ func main() {
 		traceOut = flag.String("trace-events", "", "write a JSONL event trace to this path (matrix mode: a directory, one trace per cell)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. \"rate=0.01,retries=3,throttle=200us/1ms:4x\" (empty = disabled; see tier.ParseFaultSpec)")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		scenFile = flag.String("scenario", "", "scenario spec file (or comma-separated list: matrix mode); replaces -workload")
+		scenGen  = flag.String("gen-scenario", "", "print the scenario the fuzzer derives from this seed (decimal or 0x hex) and exit")
 	)
 	flag.Parse()
 
@@ -72,6 +86,11 @@ func main() {
 		return
 	}
 
+	if *scenGen != "" {
+		genScenario(*scenGen)
+		return
+	}
+
 	cfg := bench.DefaultConfig()
 	cfg.Accesses = *accesses
 	cfg.Seed = *seed
@@ -92,6 +111,17 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Faults = fc
+	}
+
+	if *scenFile != "" {
+		if strings.Contains(*scenFile, ",") ||
+			strings.Contains(*pname, ",") || strings.Contains(*ratio, ",") {
+			cfg.EventDir = *traceOut
+			runScenarioMatrix(cfg, *scenFile, *pname, *ratio, *parallel)
+			return
+		}
+		runScenarioSingle(cfg, *scenFile, *pname, *ratio, *series, *traceOut, *baseline)
+		return
 	}
 
 	if strings.Contains(*wname, ",") || *wname == "all" ||
@@ -120,32 +150,14 @@ func main() {
 	if *series != "" {
 		cfg.RecordNS = 300_000
 	}
-	var flushTrace func() error
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "memtis-sim:", err)
-			os.Exit(1)
-		}
-		sink := obs.NewJSONL(f)
-		cfg.Trace = obs.NewTracer(sink)
-		flushTrace = func() error {
-			if err := sink.Flush(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
-		}
-	}
+	flushTrace := setupTrace(&cfg, *traceOut)
 	res := bench.RunOne(*wname, *pname, r, cfg)
 	// The trace file holds exactly this run; the optional baseline run
 	// below must not append to it.
 	cfg.Trace = nil
-	if flushTrace != nil {
-		if err := flushTrace(); err != nil {
-			fmt.Fprintln(os.Stderr, "memtis-sim:", err)
-			os.Exit(1)
-		}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+		os.Exit(1)
 	}
 	if *series != "" {
 		if err := writeSeriesCSV(*series, res); err != nil {
@@ -154,8 +166,42 @@ func main() {
 		}
 	}
 	fmt.Printf("workload        %s\n", res.Workload)
+	printResult(res, r.Name, cfg, cfg.Faults.Enabled())
+
+	if *baseline {
+		b := bench.RunBaseline(*wname, cfg)
+		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)
+	}
+}
+
+// setupTrace attaches a JSONL event tracer to cfg when path is
+// non-empty and returns the flush-and-close function (a no-op when no
+// trace was requested). Exits on file errors.
+func setupTrace(cfg *bench.Config, path string) func() error {
+	if path == "" {
+		return func() error { return nil }
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+		os.Exit(1)
+	}
+	sink := obs.NewJSONL(f)
+	cfg.Trace = obs.NewTracer(sink)
+	return func() error {
+		if err := sink.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// printResult prints the shared single-run metrics block (everything
+// after the workload/scenario header line).
+func printResult(res sim.Result, ratioName string, cfg bench.Config, faultsOn bool) {
 	fmt.Printf("policy          %s\n", res.Policy)
-	fmt.Printf("ratio           %s (%s capacity tier)\n", r.Name, cfg.CapKind)
+	fmt.Printf("ratio           %s (%s capacity tier)\n", ratioName, cfg.CapKind)
 	fmt.Printf("accesses        %d\n", res.Accesses)
 	fmt.Printf("virtual time    %.3f ms (wall %.3f ms with daemon contention)\n",
 		float64(res.AppNS)/1e6, float64(res.WallNS)/1e6)
@@ -169,15 +215,134 @@ func main() {
 		res.VM.Promotions, res.VM.Demotions)
 	fmt.Printf("splits          %d (reclaimed %.1f MB), collapses %d\n",
 		res.VM.Splits, mb(res.VM.ReclaimedFrames*tier.BasePageSize), res.VM.Collapses)
-	if cfg.Faults.Enabled() {
+	if faultsOn {
 		fmt.Printf("fault aborts    %d (%.3f ms wasted copy)\n",
 			res.VM.MigrateAborts, float64(res.VM.AbortNS)/1e6)
 	}
+}
 
-	if *baseline {
-		b := bench.RunBaseline(*wname, cfg)
+// genScenario is the -gen-scenario mode: print the scenario the
+// conformance hunt derives from the seed, annotated with the (policy,
+// ratio) the hunt would pair it with, and exit.
+func genScenario(arg string) {
+	seed, err := strconv.ParseUint(arg, 0, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memtis-sim: -gen-scenario: %v\n", err)
+		os.Exit(2)
+	}
+	spec := scenario.Generate(seed)
+	pol, rt := bench.HuntParams(seed)
+	spec.Note = fmt.Sprintf(
+		"generated from hunt seed %#x; the conformance fuzzer pairs it with policy %s at ratio %s",
+		seed, pol, rt.Name)
+	data, err := spec.Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+}
+
+// compileScenario loads and compiles one spec file, resolving trace
+// paths relative to the file's directory. Exits on error: a broken
+// spec is a usage problem, not a crash.
+func compileScenario(path string) *scenario.Runner {
+	spec, err := scenario.DecodeFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim: -scenario:", err)
+		os.Exit(2)
+	}
+	sc, err := scenario.Compile(spec, scenario.Options{Dir: filepath.Dir(path)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim: -scenario:", err)
+		os.Exit(2)
+	}
+	return sc
+}
+
+// runScenarioSingle mirrors the single-workload path for one scenario
+// spec file: same trace/series plumbing, same metrics block, baseline
+// normalisation against the scenario's all-capacity run.
+func runScenarioSingle(cfg bench.Config, path, pname, ratio, series, traceOut string, baseline bool) {
+	if !bench.KnownPolicy(pname) {
+		fmt.Fprintf(os.Stderr, "unknown policy %q (see -list)\n", pname)
+		os.Exit(2)
+	}
+	r := parseRatio(ratio)
+	sc := compileScenario(path)
+	if series != "" {
+		cfg.RecordNS = 300_000
+	}
+	flushTrace := setupTrace(&cfg, traceOut)
+	res := bench.RunScenario(sc, pname, r, cfg)
+	cfg.Trace = nil
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+		os.Exit(1)
+	}
+	if series != "" {
+		if err := writeSeriesCSV(series, res); err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("scenario        %s (%s)\n", sc.Name(), path)
+	// The scenario's own fault plan overrides -faults (see ScenarioMachine).
+	printResult(res, r.Name, cfg, cfg.Faults.Enabled() || sc.FaultConfig().Enabled())
+	if baseline {
+		b := bench.RunScenarioBaseline(sc, cfg)
 		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)
 	}
+}
+
+// runScenarioMatrix fans a comma-separated list of spec files out over
+// the (ratio, policy) lists on the parallel experiment runner, exactly
+// like the workload matrix.
+func runScenarioMatrix(cfg bench.Config, slist, plist, rlist string, workers int) {
+	var (
+		scs   []*scenario.Runner
+		names []string
+		seen  = map[string]bool{}
+	)
+	for _, f := range split(slist) {
+		sc := compileScenario(f)
+		if seen[sc.Name()] {
+			fmt.Fprintf(os.Stderr, "duplicate scenario name %q (cell seeds and table rows would collide)\n", sc.Name())
+			os.Exit(2)
+		}
+		seen[sc.Name()] = true
+		scs = append(scs, sc)
+		names = append(names, sc.Name())
+	}
+	var ratios []bench.Ratio
+	for _, rn := range split(rlist) {
+		ratios = append(ratios, parseRatio(rn))
+	}
+	pols := split(plist)
+	for _, p := range pols {
+		if !bench.KnownPolicy(p) {
+			fmt.Fprintf(os.Stderr, "unknown policy %q (see -list)\n", p)
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := bench.Parallel(workers)
+	runner.Progress = matrixProgress
+	m, err := runner.RunScenarioMatrix(ctx, cfg, scs, ratios, pols)
+	if err != nil {
+		var ce *bench.Cancelled
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "\nmemtis-sim: interrupted after %d/%d cells\n", ce.Done, ce.Total)
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "\nmemtis-sim:", err)
+		os.Exit(1)
+	}
+	title := fmt.Sprintf("normalized performance (capacity tier: %s, seed %d, %d accesses/cell)",
+		cfg.CapKind, cfg.Seed, cfg.Accesses)
+	fmt.Print(bench.MatrixTable(title, m, names, ratios, pols).String())
 }
 
 // parseRatio resolves one ratio name or exits with a usage error.
@@ -198,19 +363,29 @@ func parseRatio(name string) bench.Ratio {
 	}
 }
 
+// split parses a comma-separated flag value, dropping empty fields.
+func split(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// matrixProgress is the stderr progress line shared by both matrix modes.
+func matrixProgress(p bench.Progress) {
+	fmt.Fprintf(os.Stderr, "\r\033[K%d/%d cells  %.2fs virtual  %s", p.Done, p.Total, float64(p.VirtualNS)/1e9, p.Cell)
+	if p.Done == p.Total {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
+}
+
 // runMatrix is the comma-list mode: every (workload, ratio, policy)
 // combination runs on the parallel experiment runner with per-cell
 // derived seeds, and the normalized table is printed.
 func runMatrix(cfg bench.Config, wlist, plist, rlist string, workers int) {
-	split := func(s string) []string {
-		var out []string
-		for _, f := range strings.Split(s, ",") {
-			if f = strings.TrimSpace(f); f != "" {
-				out = append(out, f)
-			}
-		}
-		return out
-	}
 	workloads := split(wlist)
 	if wlist == "all" {
 		workloads = nil
@@ -246,12 +421,7 @@ func runMatrix(cfg bench.Config, wlist, plist, rlist string, workers int) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	runner := bench.Parallel(workers)
-	runner.Progress = func(p bench.Progress) {
-		fmt.Fprintf(os.Stderr, "\r\033[K%d/%d cells  %.2fs virtual  %s", p.Done, p.Total, float64(p.VirtualNS)/1e9, p.Cell)
-		if p.Done == p.Total {
-			fmt.Fprint(os.Stderr, "\r\033[K")
-		}
-	}
+	runner.Progress = matrixProgress
 	m, err := runner.RunMatrix(ctx, cfg, workloads, ratios, pols)
 	if err != nil {
 		var ce *bench.Cancelled

@@ -29,6 +29,7 @@ import (
 
 	"memtis/internal/bench"
 	"memtis/internal/render"
+	"memtis/internal/scenario"
 	"memtis/internal/sim"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		parallel = flag.Int("parallel", 0, "worker pool size for matrix experiments (0 = GOMAXPROCS, 1 = sequential)")
 		quiet    = flag.Bool("quiet", false, "suppress the per-cell progress line")
+		scens    = flag.String("scenarios", "", "comma-separated scenario spec files: adds a \"scenarios\" job running each through the Figure 5 policy/ratio matrix (additive; paper figures are unaffected)")
 	)
 	flag.Parse()
 
@@ -178,6 +180,39 @@ func main() {
 			return t, err
 		}},
 		{"overhead", seqTable(func() bench.Table { _, t := bench.Overhead(cfg); return t })},
+		{"scenarios", func() (bench.Table, error) {
+			// Additive: declarative scenario specs (-scenarios) through
+			// the Figure 5 policy/ratio matrix. Never selected unless the
+			// flag names at least one spec file, so the paper figures are
+			// byte-identical with or without it.
+			var (
+				scs   []*scenario.Runner
+				names []string
+			)
+			for _, f := range strings.Split(*scens, ",") {
+				if f = strings.TrimSpace(f); f == "" {
+					continue
+				}
+				spec, err := scenario.DecodeFile(f)
+				if err != nil {
+					return bench.Table{}, err
+				}
+				sc, err := scenario.Compile(spec, scenario.Options{Dir: filepath.Dir(f)})
+				if err != nil {
+					return bench.Table{}, err
+				}
+				scs = append(scs, sc)
+				names = append(names, sc.Name())
+			}
+			m, err := runner.RunScenarioMatrix(ctx, cfg, scs, bench.MainRatios, bench.Policies)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			writeCounters(*out, "scenarios", m)
+			title := fmt.Sprintf("scenarios: normalized performance (vs all-%s, seed %d, %d accesses/cell)",
+				cfg.CapKind, cfg.Seed, cfg.Accesses)
+			return bench.MatrixTable(title, m, names, bench.MainRatios, bench.Policies), nil
+		}},
 		{"faultsweep", func() (bench.Table, error) {
 			// The fault-rate x policy degradation matrix (EXPERIMENTS.md
 			// "Fault sweep"): every cell normalised to the same policy's
@@ -195,6 +230,9 @@ func main() {
 	var summary strings.Builder
 	for _, j := range jobs {
 		if !sel(j.name) {
+			continue
+		}
+		if j.name == "scenarios" && *scens == "" {
 			continue
 		}
 		if ctx.Err() != nil {

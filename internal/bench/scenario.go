@@ -1,0 +1,269 @@
+// Scenario entry points: run declarative internal/scenario specs
+// through the same machines, cell seeding and parallel fan-out as the
+// Table 2 workloads, plus the seed-driven pathology hunt the CI fuzz
+// jobs call (generate -> run under the conformance probe -> shrink any
+// failure to a minimal reproducer file).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"memtis/internal/scenario"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+)
+
+// ScenarioMachine builds the machine configuration for a compiled
+// scenario at a tiering ratio, sized like MachineFor: the fast tier is
+// the constrained resource at r.FastFrac of the scenario's peak
+// resident estimate, the capacity tier holds everything with headroom.
+// A fault plan declared by the scenario spec overrides the harness
+// config's schedule. (Scenarios carry no Table 3 over-allocation data,
+// so HeMem runs without MachineFor's fast-tier reduction.)
+func ScenarioMachine(sc *scenario.Runner, r Ratio, cfg Config) sim.Config {
+	rss := sc.RSSBytes()
+	fast := uint64(float64(rss) * r.FastFrac)
+	if fast < tier.HugePageSize*2 {
+		fast = tier.HugePageSize * 2
+	}
+	faults := cfg.Faults
+	if fc := sc.FaultConfig(); fc.Enabled() {
+		faults = fc
+	}
+	return sim.Config{
+		FastBytes: fast,
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		CapKind:   cfg.CapKind,
+		THP:       true,
+		Threads:   cfg.Threads,
+		Seed:      cfg.Seed,
+		RecordNS:  cfg.RecordNS,
+		Trace:     cfg.Trace,
+		Faults:    faults,
+	}
+}
+
+// RunScenario executes one (scenario, policy, ratio) cell.
+func RunScenario(sc *scenario.Runner, polName string, r Ratio, cfg Config) sim.Result {
+	mc := ScenarioMachine(sc, r, cfg)
+	return sim.Run(mc, NewPolicy(polName), sc, cfg.Accesses)
+}
+
+// RunScenarioBaseline executes the scenario's all-capacity-tier
+// normalisation run (the RunBaseline analogue).
+func RunScenarioBaseline(sc *scenario.Runner, cfg Config) sim.Result {
+	rss := sc.RSSBytes()
+	faults := cfg.Faults
+	if fc := sc.FaultConfig(); fc.Enabled() {
+		faults = fc
+	}
+	mc := sim.Config{
+		FastBytes: tier.HugePageSize * 2, // minimal, unused
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		CapKind:   cfg.CapKind,
+		THP:       true,
+		Threads:   cfg.Threads,
+		Seed:      cfg.Seed,
+		Trace:     cfg.Trace,
+		Faults:    faults,
+	}
+	return sim.Run(mc, NewPolicy("all-capacity"), sc, cfg.Accesses)
+}
+
+// RunScenarioMatrix executes the (scenario x ratio x policy) matrix
+// plus per-scenario all-capacity baselines, exactly like RunMatrix over
+// workloads: per-cell seeds via CellConfig keyed on the scenario name,
+// optional per-cell event traces under cfg.EventDir, results assembled
+// in plot order regardless of completion order. Compiled Runners are
+// immutable, so parallel cells share them safely. Nil ratios/pols
+// select the Figure 5 defaults.
+func (r *Runner) RunScenarioMatrix(ctx context.Context, cfg Config, scs []*scenario.Runner, ratios []Ratio, pols []string) (*Matrix, error) {
+	if ratios == nil {
+		ratios = MainRatios
+	}
+	if pols == nil {
+		pols = Policies
+	}
+	if cfg.EventDir != "" {
+		if err := os.MkdirAll(cfg.EventDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		failMu sync.Mutex
+		failed error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if failed == nil {
+			failed = err
+		}
+		failMu.Unlock()
+	}
+	bases := make([]sim.Result, len(scs))
+	results := make([]sim.Result, len(scs)*len(ratios)*len(pols))
+	var tasks []cellTask
+	for si, sc := range scs {
+		si, sc := si, sc
+		sname := sc.Name()
+		tasks = append(tasks, cellTask{
+			label: sname + "/baseline",
+			run: func() uint64 {
+				ccfg := CellConfig(cfg, sname, "baseline", "all-capacity")
+				closeTrace, err := cellTrace(cfg.EventDir, sname, "baseline", "all-capacity", &ccfg)
+				if err != nil {
+					fail(err)
+					return 0
+				}
+				bases[si] = RunScenarioBaseline(sc, ccfg)
+				if err := closeTrace(); err != nil {
+					fail(err)
+				}
+				return bases[si].AppNS
+			},
+		})
+		for ri, rt := range ratios {
+			for pi, p := range pols {
+				rt, p := rt, p
+				slot := (si*len(ratios)+ri)*len(pols) + pi
+				tasks = append(tasks, cellTask{
+					label: fmt.Sprintf("%s/%s/%s", sname, rt.Name, p),
+					run: func() uint64 {
+						ccfg := CellConfig(cfg, sname, rt.Name, p)
+						closeTrace, err := cellTrace(cfg.EventDir, sname, rt.Name, p, &ccfg)
+						if err != nil {
+							fail(err)
+							return 0
+						}
+						results[slot] = RunScenario(sc, p, rt, ccfg)
+						if err := closeTrace(); err != nil {
+							fail(err)
+						}
+						return results[slot].AppNS
+					},
+				})
+			}
+		}
+	}
+	if err := r.do(ctx, tasks); err != nil {
+		return nil, err
+	}
+	if failed != nil {
+		return nil, fmt.Errorf("bench: writing event traces: %w", failed)
+	}
+	m := &Matrix{}
+	for si, sc := range scs {
+		for ri, rt := range ratios {
+			for pi, p := range pols {
+				res := results[(si*len(ratios)+ri)*len(pols)+pi]
+				m.Cells = append(m.Cells, Cell{
+					Workload: sc.Name(), Ratio: rt.Name, Policy: p,
+					Value: Norm(res, bases[si]), Result: res,
+				})
+			}
+		}
+	}
+	return m, nil
+}
+
+// HuntParams derives the (policy, ratio) a hunt iteration pairs with
+// its generated scenario — a pure function of the seed, drawn from the
+// full policy registry so fuzzing covers every system, not just the
+// Figure 5 set.
+func HuntParams(seed uint64) (string, Ratio) {
+	h := splitmix64(seed ^ fnv1a("hunt-params"))
+	pol := AllPolicies[h%uint64(len(AllPolicies))]
+	rt := MainRatios[splitmix64(h)%uint64(len(MainRatios))]
+	return pol, rt
+}
+
+// HuntResult is one scenario-fuzz iteration's outcome.
+type HuntResult struct {
+	Seed   uint64
+	Policy string
+	Ratio  Ratio
+	Spec   scenario.Spec
+	Result sim.Result
+	// Violations lists the conformance-contract breaches the probe saw
+	// (empty for a passing iteration); each line carries the seed.
+	Violations []string
+	// Minimal is the shrunk reproducer (equal to Spec when shrinking
+	// could not simplify it; zero when the iteration passed).
+	Minimal scenario.Spec
+	// ReproPath names the written reproducer file ("" when passing or
+	// when no repro directory was given).
+	ReproPath string
+}
+
+// Failed reports whether the iteration violated the contract.
+func (h HuntResult) Failed() bool { return len(h.Violations) > 0 }
+
+// HuntScenario runs one iteration of the scenario pathology hunt:
+// generate the seed's scenario, pair it with the seed's (policy, ratio)
+// and drive it under the conformance probe. On violation, the spec is
+// shrunk to a minimal still-failing reproducer and, when reproDir is
+// non-empty, written there as scenario-<seed>.json with the context in
+// its note. accesses <= 0 selects the hunt default (100k — large enough
+// to exercise migration and churn, small enough for a fuzz iteration).
+// Everything is a pure function of (seed, accesses), so a failure in a
+// CI log reproduces locally from the seed alone.
+func HuntScenario(seed uint64, accesses uint64, reproDir string) (HuntResult, error) {
+	if accesses == 0 {
+		accesses = 100_000
+	}
+	pol, rt := HuntParams(seed)
+	cfg := DefaultConfig()
+	cfg.Accesses = accesses
+	cfg.Seed = int64(splitmix64(seed ^ fnv1a("hunt-machine")))
+	out := HuntResult{Seed: seed, Policy: pol, Ratio: rt, Spec: scenario.Generate(seed)}
+	run := func(spec scenario.Spec) ([]string, sim.Result, error) {
+		sc, err := scenario.Compile(spec, scenario.Options{})
+		if err != nil {
+			return nil, sim.Result{}, err
+		}
+		mc := ScenarioMachine(sc, rt, cfg)
+		probe := scenario.NewProbe(NewPolicy(pol), seed, sc.FaultConfig())
+		res := sim.Run(mc, probe, sc, cfg.Accesses)
+		probe.FinalCheck()
+		v := probe.Violations()
+		if res.Accesses != cfg.Accesses {
+			v = append(v, fmt.Sprintf("scenario seed=%#x policy=%s: ran %d accesses, want %d",
+				seed, pol, res.Accesses, cfg.Accesses))
+		}
+		return v, res, nil
+	}
+	var err error
+	out.Violations, out.Result, err = run(out.Spec)
+	if err != nil {
+		// Generate promises compilable specs; surface the bug, don't hunt on.
+		return out, fmt.Errorf("bench: hunt seed %#x: %w", seed, err)
+	}
+	if !out.Failed() {
+		return out, nil
+	}
+	out.Minimal = scenario.Shrink(out.Spec, func(cand scenario.Spec) bool {
+		v, _, err := run(cand)
+		return err == nil && len(v) > 0
+	})
+	out.Minimal.Note = fmt.Sprintf("seed=%#x policy=%s ratio=%s accesses=%d: %s",
+		seed, pol, rt.Name, accesses, out.Violations[0])
+	if reproDir != "" {
+		if err := os.MkdirAll(reproDir, 0o755); err != nil {
+			return out, fmt.Errorf("bench: hunt repro dir: %w", err)
+		}
+		data, err := out.Minimal.Encode()
+		if err != nil {
+			return out, fmt.Errorf("bench: hunt seed %#x: %w", seed, err)
+		}
+		path := filepath.Join(reproDir, fmt.Sprintf("scenario-%016x.json", seed))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return out, fmt.Errorf("bench: hunt repro: %w", err)
+		}
+		out.ReproPath = path
+	}
+	return out, nil
+}

@@ -193,6 +193,13 @@ func maxu(a, b uint64) uint64 {
 	return b
 }
 
+// Adjustments returns how often the period controller has run — the
+// number of completed measurement windows. Budget assertions over
+// AvgCPUUsage are only meaningful once enough windows have elapsed for
+// the throttling transient to decay (the paper's controller, too, needs
+// a few 2ms windows to back roms off from 200 to 1400).
+func (s *Sampler) Adjustments() int { return s.adjustments }
+
 // LoadPeriod returns the current load-miss sampling period.
 func (s *Sampler) LoadPeriod() uint64 { return s.loadPeriod }
 

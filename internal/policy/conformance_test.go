@@ -19,13 +19,10 @@ import (
 	"memtis/internal/workload"
 )
 
-// maxStallNS bounds what one OnAccess may add to the critical path:
-// two huge-page sync migrations (a demote-to-make-room plus the
-// promotion) with shootdowns and in-fault bookkeeping, plus the
-// hint-fault service itself, rounded up. A policy exceeding this is
-// stalling the application on work that belongs in the background.
-const maxStallNS = 2*(vm.MigrateHugeNS+vm.ShootdownNS+policy.SyncExtraNS) +
-	vm.HugeFaultNS + policy.HintFaultNS + 100_000
+// maxStallNS is the fault-free per-access stall bound; the formula
+// lives in policy.MaxSyncStallNS so this suite and the scenario
+// conformance probe assert the same contract.
+var maxStallNS = policy.MaxSyncStallNS(tier.FaultConfig{})
 
 // probe wraps a policy and asserts the contract on every callback:
 // BackgroundNS never decreases, OnAccess stalls are bounded, PlaceNew
@@ -159,13 +156,7 @@ func TestPolicyConformanceUnderFaults(t *testing.T) {
 	// Retry-aware stall bound: each of the (up to) two sync migrations
 	// behind one access may burn 1+DefaultMaxRetries throttled copies
 	// plus the exponential backoff before succeeding or giving up.
-	var backoff uint64
-	for i := 0; i < tier.DefaultMaxRetries; i++ {
-		backoff += tier.DefaultBackoffNS << uint(i)
-	}
-	perMigration := uint64(tier.DefaultMaxRetries+1)*fc.ThrottleFactor*vm.MigrateHugeNS +
-		vm.ShootdownNS + policy.SyncExtraNS + backoff
-	bound := 2*perMigration + vm.HugeFaultNS + policy.HintFaultNS + fc.StallNS + 100_000
+	bound := policy.MaxSyncStallNS(fc)
 
 	spec := workload.MustNew("silo").Spec()
 	cfg := bench.DefaultConfig()

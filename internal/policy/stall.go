@@ -1,0 +1,33 @@
+package policy
+
+import (
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+)
+
+// MaxSyncStallNS is the contract bound on what one OnAccess may add to
+// the application's critical path under the given (valid) fault plan:
+// up to two huge-page sync migrations (a demote-to-make-room plus the
+// promotion), each allowed its full retry budget of throttled copies
+// with exponential backoff, plus the shootdowns, in-fault bookkeeping,
+// the hint-fault service itself, one fault-injected access stall, and
+// rounding slack. A policy exceeding it is stalling the application on
+// work that belongs in the background. The conformance suites — both
+// internal/policy's and internal/scenario's — assert this single
+// formula, so the bound cannot drift between them. The zero FaultConfig
+// yields the fault-free bound.
+func MaxSyncStallNS(fc tier.FaultConfig) uint64 {
+	plan := tier.NewFaultPlan(fc) // nil when disabled; fills defaults
+	eff := plan.Config()
+	var backoff uint64
+	for i := 0; i < plan.MaxRetries(); i++ {
+		backoff += plan.RetryBackoffNS(i)
+	}
+	factor := uint64(1)
+	if eff.ThrottlePeriodNS > 0 && eff.ThrottleDutyNS > 0 {
+		factor = eff.ThrottleFactor
+	}
+	attempts := uint64(plan.MaxRetries() + 1)
+	perMigration := attempts*factor*vm.MigrateHugeNS + vm.ShootdownNS + SyncExtraNS + backoff
+	return 2*perMigration + vm.HugeFaultNS + HintFaultNS + eff.StallNS + 100_000
+}

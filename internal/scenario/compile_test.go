@@ -1,0 +1,207 @@
+// External tests of the compiled runner: these need internal/bench's
+// machine sizing and policy factory, which imports this package, so
+// they live in the scenario_test package (no import cycle for external
+// test packages).
+package scenario_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"memtis/internal/bench"
+	"memtis/internal/obs"
+	"memtis/internal/scenario"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/trace"
+	"memtis/internal/workload"
+)
+
+// TestScenarioReproducesWorkloadByteIdentically is the acceptance pin
+// of the scenario engine: a one-phase spec naming a Table 2 workload
+// must drive the machine through the exact run the hand-coded harness
+// performs — same machine config, same policy, byte-identical event
+// trace. The runner adds no RNG draws and no extra accesses around a
+// pure workload phase, so any divergence is a compilation bug.
+func TestScenarioReproducesWorkloadByteIdentically(t *testing.T) {
+	cfg := bench.DefaultConfig()
+	cfg.Accesses = 60_000
+	spec := workload.MustNew("silo").Spec()
+
+	runDirect := func() []byte {
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		ccfg := cfg
+		ccfg.Trace = obs.NewTracer(sink)
+		res := bench.RunOne("silo", "memtis", bench.Ratio1to8, ccfg)
+		if res.Accesses != cfg.Accesses {
+			t.Fatalf("direct run issued %d accesses", res.Accesses)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	runScenario := func() []byte {
+		sc := scenario.MustCompile(scenario.Spec{
+			Name:   "silo-equiv",
+			Phases: []scenario.Phase{{Workload: "silo"}},
+		}, scenario.Options{})
+		if sc.RSSBytes() != spec.RSSBytes() {
+			t.Fatalf("scenario RSS %d, workload RSS %d", sc.RSSBytes(), spec.RSSBytes())
+		}
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		ccfg := cfg
+		ccfg.Trace = obs.NewTracer(sink)
+		res := bench.RunScenario(sc, "memtis", bench.Ratio1to8, ccfg)
+		if res.Accesses != cfg.Accesses {
+			t.Fatalf("scenario run issued %d accesses", res.Accesses)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	direct, scen := runDirect(), runScenario()
+	if len(direct) == 0 {
+		t.Fatal("direct run emitted no events")
+	}
+	if !bytes.Equal(direct, scen) {
+		t.Fatalf("event traces differ: direct %d bytes, scenario %d bytes", len(direct), len(scen))
+	}
+}
+
+// TestScenarioChurn pins the Free/Grow semantics: regions grown in one
+// phase and freed in a later one leave the resident set, and SkipInit
+// regions stay unmapped until accessed.
+func TestScenarioChurn(t *testing.T) {
+	sc := scenario.MustCompile(scenario.Spec{
+		Name: "churn",
+		Phases: []scenario.Phase{
+			{Grow: []scenario.Region{{Name: "a", Bytes: 8 << 20}},
+				Mix: []scenario.MixEntry{{Region: "a", Dist: "uniform"}}},
+			{Free: []string{"a"},
+				Grow: []scenario.Region{{Name: "b", Bytes: 4 << 20}},
+				Mix:  []scenario.MixEntry{{Region: "b", Dist: "seq", WritePercent: 100}}},
+		},
+	}, scenario.Options{})
+	// Peak resident is phase 0's 8MB (b comes after a is freed).
+	if got := sc.RSSBytes(); got != 8<<20 {
+		t.Fatalf("RSSBytes = %d, want %d", got, 8<<20)
+	}
+	mc := bench.ScenarioMachine(sc, bench.Ratio1to8, bench.DefaultConfig())
+	m := sim.NewMachine(mc, nil)
+	sc.Run(m, 30_000)
+	if m.Accesses() != 30_000 {
+		t.Fatalf("issued %d accesses, want 30000", m.Accesses())
+	}
+	// After the run only b (4MB) is resident.
+	if rss := m.AS.RSSBytes(); rss > 4<<20 {
+		t.Fatalf("final RSS %d, want <= %d (region a freed)", rss, 4<<20)
+	}
+	// SkipInit: an untouched region contributes nothing to RSS.
+	lazy := scenario.MustCompile(scenario.Spec{
+		Name: "lazy",
+		Phases: []scenario.Phase{
+			{Grow: []scenario.Region{
+				{Name: "hot", Bytes: 2 << 20},
+				{Name: "never", Bytes: 256 << 20, SkipInit: true},
+			},
+				Mix: []scenario.MixEntry{{Region: "hot", Dist: "uniform"}}},
+		},
+	}, scenario.Options{})
+	m2 := sim.NewMachine(bench.ScenarioMachine(lazy, bench.Ratio1to8, bench.DefaultConfig()), nil)
+	lazy.Run(m2, 10_000)
+	if rss := m2.AS.RSSBytes(); rss > 4<<20 {
+		t.Fatalf("RSS %d with a skip_init region, want only the hot region resident", rss)
+	}
+}
+
+// TestScenarioTracePhase pins trace replay through a spec: record a
+// short run, reference the file from a trace phase, and require the
+// compiled runner to issue exactly the budget through it.
+func TestScenarioTracePhase(t *testing.T) {
+	mc := sim.Config{
+		FastBytes: 4 * tier.HugePageSize,
+		CapBytes:  64 * tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      3,
+	}
+	m := sim.NewMachine(mc, nil)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.Capture(m, w)
+	r := m.Reserve(2 * tier.HugePageSize)
+	for i := 0; i < 4000; i++ {
+		m.Access(r.BaseVPN+uint64(i)%r.Pages, i%5 == 0)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := trace.SaveFile(dir+"/short.trace", recs); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := scenario.Spec{
+		Name:   "trace-phase",
+		Phases: []scenario.Phase{{Trace: "short.trace"}},
+	}
+	sc, err := scenario.Compile(spec, scenario.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := sim.NewMachine(bench.ScenarioMachine(sc, bench.Ratio1to8, bench.DefaultConfig()), nil)
+	sc.Run(m2, 10_000) // loops the 4000-record trace 2.5x
+	if m2.Accesses() != 10_000 {
+		t.Fatalf("issued %d accesses, want 10000", m2.Accesses())
+	}
+	// A missing trace file must fail at compile time, not at run time.
+	if _, err := scenario.Compile(spec, scenario.Options{Dir: t.TempDir()}); err == nil {
+		t.Fatal("Compile accepted a spec with a missing trace file")
+	}
+}
+
+// TestSharedRunnerParallelDeterminism pins the concurrency contract: a
+// single compiled Runner driven from many goroutines over machines with
+// the same config produces identical results, because all run state
+// lives on the Run stack.
+func TestSharedRunnerParallelDeterminism(t *testing.T) {
+	sc := scenario.MustCompile(scenario.Generate(17), scenario.Options{})
+	cfg := bench.DefaultConfig()
+	cfg.Accesses = 20_000
+	run := func() sim.Result {
+		return bench.RunScenario(sc, "memtis", bench.Ratio1to8, cfg)
+	}
+	want := run()
+	var wg sync.WaitGroup
+	got := make([]sim.Result, 8)
+	for i := range got {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = run()
+		}()
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g.AppNS != want.AppNS || g.FastHitRatio != want.FastHitRatio || g.Accesses != want.Accesses {
+			t.Fatalf("parallel run %d diverged: %+v vs %+v", i, g, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// The conformance fuzzer needs internal/bench's policy factory and
+// machine sizing (bench imports this package), so it lives in the
+// external scenario_test package.
+package scenario_test
+
+import (
+	"os"
+	"testing"
+
+	"memtis/internal/bench"
+)
+
+// FuzzScenarioConformance is the scenario pathology hunt: each input
+// seed derives a scenario, a policy and a tiering ratio, and the run is
+// executed under the conformance probe — no page lost or double-mapped,
+// stalls within the fault-aware bound, monotonic background accounting,
+// ksampled within budget. A failing seed is shrunk to a minimal spec
+// and, when SCENARIO_REPRO_DIR is set (the nightly CI job sets it and
+// uploads the directory), written there as scenario-<seed>.json; the
+// failure message alone carries everything needed to reproduce.
+//
+// Run with: go test -run '^$' -fuzz FuzzScenarioConformance ./internal/scenario
+func FuzzScenarioConformance(f *testing.F) {
+	for seed := uint64(0); seed < 10; seed++ {
+		f.Add(seed)
+	}
+	reproDir := os.Getenv("SCENARIO_REPRO_DIR")
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		h, err := bench.HuntScenario(seed, 0, reproDir)
+		if err != nil {
+			t.Fatalf("hunt seed %#x: %v", seed, err)
+		}
+		if !h.Failed() {
+			return
+		}
+		min, encErr := h.Minimal.Encode()
+		if encErr != nil {
+			min = []byte(encErr.Error())
+		}
+		t.Errorf("scenario seed=%#x policy=%s ratio=%s violated the conformance contract:",
+			h.Seed, h.Policy, h.Ratio.Name)
+		for _, v := range h.Violations {
+			t.Errorf("  %s", v)
+		}
+		t.Errorf("minimal reproducer (repro file %q):\n%s", h.ReproPath, min)
+	})
+}

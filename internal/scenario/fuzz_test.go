@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioSpec fuzzes the spec codec: any input that decodes and
+// validates must re-encode canonically — Encode(Decode(enc)) is
+// byte-identical to enc once the spec has passed through Encode once.
+// This pins the strict decoder, the omitempty layout and Validate's
+// rejection of non-finite numbers (json.Marshal would error on them)
+// in one property.
+func FuzzScenarioSpec(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"name":"x","phases":[{"workload":"silo"}]}`),
+		[]byte(`{"name":"x","faults":"rate=10000ppm,retries=2","phases":[{"workload":"graph500","rss_gb":0.5,"weight":2}]}`),
+		[]byte(`{"name":"m","phases":[{"grow":[{"name":"a","bytes":4194304}],"mix":[{"region":"a","dist":"zipf","s":0.99,"write_percent":30}]},{"free":["a"]},{"workload":"btree"}]}`),
+		[]byte(`{"name":"t","phases":[{"trace":"some/file.trace"}]}`),
+		[]byte(`{`),
+		[]byte(`{"name":"x","phases":[]}`),
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		enc, err := Generate(seed).Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, enc)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			return // malformed input: rejection is the correct outcome
+		}
+		if err := spec.Validate(); err != nil {
+			return
+		}
+		enc, err := spec.Encode()
+		if err != nil {
+			t.Fatalf("valid spec failed to encode: %v", err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, enc)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("canonical encoding no longer validates: %v\n%s", err, enc)
+		}
+		enc2, err := got.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixpoint:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validSpec returns a minimal hand-written spec used as the mutation
+// base of the table tests.
+func validSpec() Spec {
+	return Spec{
+		Name: "unit",
+		Phases: []Phase{
+			{Grow: []Region{{Name: "a", Bytes: 4 << 20}},
+				Mix: []MixEntry{{Region: "a", Dist: "uniform"}}},
+		},
+	}
+}
+
+func TestDecodeStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"unknown field", `{"name":"x","phasez":[]}`},
+		{"unknown phase field", `{"name":"x","phases":[{"workloadz":"silo"}]}`},
+		{"trailing data", `{"name":"x","phases":[]} {"again":1}`},
+		{"not json", `name: x`},
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c.data)); err == nil {
+			t.Errorf("%s: decode accepted %q", c.name, c.data)
+		}
+	}
+	good := `{"name":"x","phases":[{"workload":"silo"}]}` + "\n"
+	s, err := Decode([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases[0].Workload != "silo" {
+		t.Fatalf("decoded %+v", s)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string // substring of the error
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"no phases", func(s *Spec) { s.Phases = nil }, "at least one phase"},
+		{"bad faults", func(s *Spec) { s.Faults = "rate=2.0" }, "faults"},
+		{"two sources", func(s *Spec) { s.Phases[0].Workload = "silo" }, "access sources"},
+		{"unknown workload", func(s *Spec) {
+			s.Phases[0].Mix = nil
+			s.Phases[0].Workload = "nope"
+		}, "unknown benchmark"},
+		{"rss_gb without workload", func(s *Spec) { s.Phases[0].RSSGB = 1 }, "rss_gb without"},
+		{"rss_gb out of range", func(s *Spec) {
+			s.Phases[0].Mix = nil
+			s.Phases[0].Workload = "silo"
+			s.Phases[0].RSSGB = 4096
+		}, "rss_gb"},
+		{"weighted churn-only", func(s *Spec) {
+			s.Phases[0].Mix = nil
+			s.Phases[0].Weight = 2
+		}, "churn-only"},
+		{"no source at all", func(s *Spec) { s.Phases[0].Mix = nil }, "no phase has an access source"},
+		{"mix over dead region", func(s *Spec) { s.Phases[0].Mix[0].Region = "ghost" }, "not live"},
+		{"free of unknown region", func(s *Spec) { s.Phases[0].Free = []string{"ghost"} }, "not a live region"},
+		{"double grow", func(s *Spec) {
+			s.Phases[0].Grow = append(s.Phases[0].Grow, Region{Name: "a", Bytes: 1 << 20})
+		}, "grown twice"},
+		{"zero-byte region", func(s *Spec) { s.Phases[0].Grow[0].Bytes = 0 }, "bytes"},
+		{"oversized region", func(s *Spec) { s.Phases[0].Grow[0].Bytes = MaxRegionBytes + 1 }, "bytes"},
+		{"zipf without s", func(s *Spec) { s.Phases[0].Mix[0].Dist = "zipf" }, "zipf exponent"},
+		{"uniform with s", func(s *Spec) { s.Phases[0].Mix[0].S = 0.5 }, "only valid for zipf"},
+		{"unknown dist", func(s *Spec) { s.Phases[0].Mix[0].Dist = "pareto" }, "unknown distribution"},
+		{"write percent", func(s *Spec) { s.Phases[0].Mix[0].WritePercent = 101 }, "write percent"},
+		{"negative weight", func(s *Spec) { s.Phases[0].Weight = -1 }, "weight"},
+	}
+	for _, c := range cases {
+		s := validSpec()
+		c.mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := validSpec()
+	s.Faults = "rate=10000ppm,retries=2"
+	s.Phases = append(s.Phases, Phase{Free: []string{"a"}})
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encoding differs:\n%s\nvs\n%s", enc, enc2)
+	}
+}
+
+// TestGenerateAlwaysValid pins the fuzzer's core promise: every
+// generated spec validates, compiles, and is a pure function of its
+// seed.
+func TestGenerateAlwaysValid(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		s := Generate(seed)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid spec: %v", seed, err)
+		}
+		if _, err := Compile(s, Options{}); err != nil {
+			t.Fatalf("seed %d: generated uncompilable spec: %v", seed, err)
+		}
+		again := Generate(seed)
+		a, _ := s.Encode()
+		b, _ := again.Encode()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+	}
+}
+
+// TestShrinkMinimizes drives Shrink with a predicate that only needs
+// one particular phase, and requires the result to drop everything
+// else.
+func TestShrinkMinimizes(t *testing.T) {
+	s := Generate(3) // arbitrary multi-phase seed
+	s.Faults = "rate=10000ppm"
+	// Failure depends only on having any silo workload phase.
+	s.Phases = append(s.Phases, Phase{Workload: "silo", RSSGB: 2, Weight: 4})
+	fails := func(c Spec) bool {
+		for _, p := range c.Phases {
+			if p.Workload == "silo" {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(s, fails)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk spec invalid: %v", err)
+	}
+	if !fails(min) {
+		t.Fatal("shrunk spec no longer fails")
+	}
+	if len(min.Phases) != 1 {
+		t.Fatalf("shrunk to %d phases, want 1", len(min.Phases))
+	}
+	if min.Faults != "" {
+		t.Fatalf("shrink kept the irrelevant fault plan %q", min.Faults)
+	}
+	if min.Phases[0].RSSGB != 0.25 {
+		t.Fatalf("shrink kept rss_gb %v, want 0.25", min.Phases[0].RSSGB)
+	}
+	// Shrinking is deterministic.
+	again := Shrink(s, fails)
+	a, _ := min.Encode()
+	b, _ := again.Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Shrink is not deterministic")
+	}
+}
+
+// TestFaultConfigRoundTrip pins that a generated fault plan re-parses
+// to itself through the spec mini-language.
+func TestFaultConfigRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := Generate(seed)
+		if s.Faults == "" {
+			continue
+		}
+		fc := s.FaultConfig()
+		if fc.String() != s.Faults {
+			t.Fatalf("seed %d: fault plan %q re-renders as %q", seed, s.Faults, fc.String())
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package scenario
+
+import "encoding/json"
+
+// maxShrinkRuns bounds the number of times Shrink invokes the failing
+// predicate: each invocation typically re-runs a full simulation, so
+// the failure path of a fuzz iteration stays at a few seconds.
+const maxShrinkRuns = 128
+
+// Shrink greedily minimizes a failing spec: it repeatedly tries
+// simplifying transforms (drop a phase, clear the fault plan, drop
+// churn events and mix arms, halve region sizes, flatten weights) and
+// keeps any candidate that still validates and still fails, until no
+// transform helps or the run budget is exhausted. The result is the
+// minimal reproducer written out next to a fuzz failure; determinism
+// of the predicate (same spec in, same verdict out) makes Shrink itself
+// deterministic.
+func Shrink(spec Spec, fails func(Spec) bool) Spec {
+	best := spec
+	runs := 0
+	try := func(cand Spec) bool {
+		if runs >= maxShrinkRuns || cand.Validate() != nil {
+			return false
+		}
+		runs++
+		return fails(cand)
+	}
+	for {
+		improved := false
+		for _, cand := range candidates(best) {
+			if try(cand) {
+				best = cand
+				improved = true
+				break
+			}
+		}
+		if !improved || runs >= maxShrinkRuns {
+			return best
+		}
+	}
+}
+
+// candidates enumerates one-step simplifications of a spec, most
+// aggressive first so the greedy loop converges quickly.
+func candidates(s Spec) []Spec {
+	var out []Spec
+	add := func(f func(*Spec)) {
+		c := clone(s)
+		f(&c)
+		out = append(out, c)
+	}
+	// Whole phases, last first (later phases depend on earlier churn,
+	// never the reverse).
+	for i := len(s.Phases) - 1; i >= 0; i-- {
+		i := i
+		add(func(c *Spec) { c.Phases = append(c.Phases[:i], c.Phases[i+1:]...) })
+	}
+	if s.Faults != "" {
+		add(func(c *Spec) { c.Faults = "" })
+	}
+	for i := range s.Phases {
+		i := i
+		p := &s.Phases[i]
+		if len(p.Free) > 0 {
+			add(func(c *Spec) { c.Phases[i].Free = nil })
+		}
+		for j := range p.Grow {
+			if p.Grow[j].Bytes < 2<<20 {
+				continue
+			}
+			j := j
+			add(func(c *Spec) { c.Phases[i].Grow[j].Bytes /= 2 })
+		}
+		for j := len(p.Mix) - 1; j >= 0 && len(p.Mix) > 1; j-- {
+			j := j
+			add(func(c *Spec) {
+				m := c.Phases[i].Mix
+				c.Phases[i].Mix = append(m[:j], m[j+1:]...)
+			})
+		}
+		if p.Weight != 0 && p.Weight != 1 && p.isSource() {
+			add(func(c *Spec) { c.Phases[i].Weight = 1 })
+		}
+		if p.RSSGB > 0.25 {
+			add(func(c *Spec) { c.Phases[i].RSSGB = 0.25 })
+		}
+	}
+	return out
+}
+
+// clone deep-copies a spec through its JSON form (specs are small; the
+// simplicity beats a hand-written copier that can drift from the
+// struct).
+func clone(s Spec) Spec {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	var c Spec
+	if err := json.Unmarshal(b, &c); err != nil {
+		panic(err)
+	}
+	return c
+}

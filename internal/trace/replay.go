@@ -46,6 +46,11 @@ func (r *Replay) Name() string { return r.name }
 // Records returns the replayed record count.
 func (r *Replay) Records() int { return len(r.recs) }
 
+// SpanPages returns the size, in base pages, of the region Run reserves
+// to hold the remapped trace (max recorded VPN - min + 1). Harnesses use
+// it to budget machine capacity for a replay phase.
+func (r *Replay) SpanPages() uint64 { return r.span }
+
 // Run implements sim.Workload: the trace loops until the access budget
 // is consumed (a trace shorter than the budget repeats, modelling the
 // iterative structure of the original applications).

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/workload"
+)
+
+// TestReplayRoundTripByteIdentical is the end-to-end fidelity pin:
+// record a short silo run, replay the records through Replay on a
+// fresh machine of the same configuration, capture the replayed stream,
+// and require it byte-identical to the original recording. This holds
+// because a fresh machine's first reservation starts at VPN 0 and silo
+// touches page 0 during init, so Replay's base-VPN remapping is the
+// identity — any drift in the codec, the capture hook or Replay's
+// address arithmetic breaks the equality.
+func TestReplayRoundTripByteIdentical(t *testing.T) {
+	spec := workload.MustNew("silo").Spec()
+	mc := sim.Config{
+		FastBytes: spec.RSSBytes() / 9,
+		CapBytes:  spec.RSSBytes() + spec.RSSBytes()/4 + 16*tier.HugePageSize,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      11,
+	}
+	const budget = 40_000
+
+	m := sim.NewMachine(mc, nil)
+	var orig bytes.Buffer
+	w, err := NewWriter(&orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Capture(m, w)
+	workload.MustNew("silo").Run(m, budget)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != budget {
+		t.Fatalf("recorded %d accesses, want %d", w.Count(), budget)
+	}
+
+	rd, err := NewReader(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(recs, 0)
+	if st.MinVPN != 0 {
+		t.Fatalf("recorded min VPN %d, want 0 (fresh machine)", st.MinVPN)
+	}
+
+	m2 := sim.NewMachine(mc, nil)
+	var replayed bytes.Buffer
+	w2, err := NewWriter(&replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Capture(m2, w2)
+	NewReplay("silo-rt", recs).Run(m2, budget)
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), replayed.Bytes()) {
+		t.Fatal("replayed access stream differs from the recording")
+	}
+}
+
+// TestSaveLoadFile pins the file round trip LoadFile/SaveFile the
+// scenario compiler depends on.
+func TestSaveLoadFile(t *testing.T) {
+	recs := []Record{{VPN: 0, Write: true}, {VPN: 7, Write: false}, {VPN: 3, Write: true}}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := SaveFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Fatal("LoadFile accepted a missing file")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 )
 
@@ -120,6 +121,48 @@ func ReadAll(r *Reader) ([]Record, error) {
 		}
 		out = append(out, rec)
 	}
+}
+
+// LoadFile reads a whole trace file into memory.
+func LoadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	recs, err := ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// SaveFile writes records to a trace file, creating or truncating it.
+func SaveFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, rec := range recs {
+		if err := w.Add(rec.VPN, rec.Write); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Stats summarises a trace.

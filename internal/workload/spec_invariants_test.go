@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecTableInvariants pins the structural invariants of the Table 2
+// set that every consumer (bench matrices, scenario specs, CLI flag
+// parsing) leans on: names are unique and non-empty, every row has a
+// positive scaled RSS, and the huge-page ratio is a valid fraction.
+func TestSpecTableInvariants(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Specs() {
+		if s.Name == "" {
+			t.Fatal("spec with empty name")
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate spec name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.RSSBytes() == 0 {
+			t.Errorf("%s: zero scaled RSS", s.Name)
+		}
+		if s.RHP < 0 || s.RHP > 1 {
+			t.Errorf("%s: RHP %v outside [0,1]", s.Name, s.RHP)
+		}
+		if s.SmallBytes() > s.RSSBytes() {
+			t.Errorf("%s: small allocations %d exceed RSS %d", s.Name, s.SmallBytes(), s.RSSBytes())
+		}
+	}
+}
+
+// TestSpecByNameErrors pins the error paths: SpecByName and New must
+// reject unknown benchmarks with an error naming the input, not panic
+// or return a zero model.
+func TestSpecByNameErrors(t *testing.T) {
+	if _, err := SpecByName("no-such-benchmark"); err == nil {
+		t.Fatal("SpecByName accepted an unknown benchmark")
+	} else if !strings.Contains(err.Error(), "no-such-benchmark") {
+		t.Fatalf("error %q does not name the unknown benchmark", err)
+	}
+	if _, err := New("no-such-benchmark"); err == nil {
+		t.Fatal("New accepted an unknown benchmark")
+	}
+	if _, err := NewScaled("no-such-benchmark", 1); err == nil {
+		t.Fatal("NewScaled accepted an unknown benchmark")
+	}
+}
+
+// TestNewScaledFractionalGB pins the rounding of fractional paper-GB
+// overrides: RSSBytes truncates the scaled product, so 1.5 paper-GB is
+// exactly 12 simulated MB and 0.1 paper-GB truncates to 838860 bytes
+// (0.1 * 8MiB = 838860.8). Scenario fuzzing generates quarter-GB sizes
+// and depends on these staying exact.
+func TestNewScaledFractionalGB(t *testing.T) {
+	cases := []struct {
+		gb   float64
+		want uint64
+	}{
+		{1, BytesPerPaperGB},
+		{1.5, 12 << 20},
+		{0.25, 2 << 20},
+		{0.1, 838860},
+	}
+	for _, c := range cases {
+		w, err := NewScaled("graph500", c.gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Spec().RSSBytes(); got != c.want {
+			t.Errorf("NewScaled(%v GB).RSSBytes() = %d, want %d", c.gb, got, c.want)
+		}
+	}
+	// The override must not leak into the shared table.
+	base, _ := SpecByName("graph500")
+	if base.PaperRSSGB != 66.3 {
+		t.Fatalf("NewScaled mutated the Table 2 entry: %v", base.PaperRSSGB)
+	}
+}

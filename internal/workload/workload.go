@@ -141,6 +141,16 @@ func issueBatched(m *sim.Machine, budget uint64, step stepper) {
 	}
 }
 
+// Drive issues accesses from a pure step function until the machine's
+// cumulative access count reaches target, using the same batched issue
+// path as the benchmark models (byte-identical to access-at-a-time).
+// It is the building block external composers — notably
+// internal/scenario — use to drive synthetic phases with workload's
+// exact issue discipline. step must not mutate machine state.
+func Drive(m *sim.Machine, target uint64, step func() (vpn uint64, write bool)) {
+	issueBatched(m, target, step)
+}
+
 // New builds the named benchmark model.
 func New(name string) (*W, error) {
 	spec, err := SpecByName(name)
