@@ -32,12 +32,14 @@ docs:
 	$(GO) run ./cmd/doclint ./internal ./cmd ./examples
 
 # Race smoke: the parallel-runner determinism regression, the
-# per-machine shared-state audit, and the codec/dist suites, all under
-# -race with CI-sized budgets.
+# per-machine shared-state audit, the codec/dist suites, and the
+# multi-tenant baton scheduler (whole package: its strict-handoff
+# design claims exactly one runnable goroutine, which -race checks),
+# all with CI-sized budgets.
 race:
-	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestEventTraceGolden|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing|TestScenarioMatrixDeterminism' ./internal/bench ./internal/sim
+	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestEventTraceGolden|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing|TestScenarioMatrixDeterminism|TestTenantTraceDeterminism' ./internal/bench ./internal/sim
 	$(GO) test -race -run 'TestSharedRunnerParallelDeterminism' ./internal/scenario
-	$(GO) test -race ./internal/trace ./internal/dist ./internal/obs
+	$(GO) test -race ./internal/trace ./internal/dist ./internal/obs ./internal/tenant
 
 # Replayed continuously by `go test`; this explores beyond the seed
 # corpus for a bounded time per target.

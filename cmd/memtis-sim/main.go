@@ -21,7 +21,15 @@
 //	memtis-sim -scenario examples/scenarios/churn.json -policy memtis -baseline
 //	memtis-sim -scenario a.json,b.json -policy memtis,hemem -parallel 8
 //	memtis-sim -gen-scenario 134 > repro.json
+//	memtis-sim -workload silo -policy memtis -tenants 4 -tenant-skew 8to1
+//	memtis-sim -workload btree -tenants 8 -tenant-churn 0.5 -tenant-floor 8388608
+//	memtis-sim -scenario examples/scenarios/tenants.json -policy memtis
 //	memtis-sim -list
+//
+// Multi-tenancy (-tenants N, or a spec file with a "tenants" section)
+// runs N contending address spaces under one policy daemon with
+// fairness/QoS arbitration (weights, fast-tier floors, churn); the
+// result gains a per-tenant accounting table. See DESIGN.md §10.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"memtis/internal/obs"
 	"memtis/internal/scenario"
 	"memtis/internal/sim"
+	"memtis/internal/tenant"
 	"memtis/internal/tier"
 	"memtis/internal/workload"
 )
@@ -63,6 +72,10 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		scenFile = flag.String("scenario", "", "scenario spec file (or comma-separated list: matrix mode); replaces -workload")
 		scenGen  = flag.String("gen-scenario", "", "print the scenario the fuzzer derives from this seed (decimal or 0x hex) and exit")
+		tenants  = flag.Int("tenants", 1, "run N contending tenants, each an instance of -workload in its own address space (single-run mode only)")
+		tSkew    = flag.String("tenant-skew", "flat", "tenant promotion-weight skew: flat, or 8to1 (tenant 0 gets 8x weight)")
+		tChurn   = flag.Float64("tenant-churn", 0, "fraction of tenants after the first that spawn at 10% and exit at 70% of the run")
+		tFloor   = flag.Uint64("tenant-floor", 0, "guaranteed fast-tier bytes for tenant 0 (QoS floor)")
 	)
 	flag.Parse()
 
@@ -113,7 +126,16 @@ func main() {
 		cfg.Faults = fc
 	}
 
+	if *tenants < 1 {
+		fmt.Fprintf(os.Stderr, "-tenants %d: need at least 1\n", *tenants)
+		os.Exit(2)
+	}
+
 	if *scenFile != "" {
+		if *tenants > 1 {
+			fmt.Fprintln(os.Stderr, "-tenants conflicts with -scenario; declare tenants in the spec's \"tenants\" section")
+			os.Exit(2)
+		}
 		if strings.Contains(*scenFile, ",") ||
 			strings.Contains(*pname, ",") || strings.Contains(*ratio, ",") {
 			cfg.EventDir = *traceOut
@@ -126,8 +148,17 @@ func main() {
 
 	if strings.Contains(*wname, ",") || *wname == "all" ||
 		strings.Contains(*pname, ",") || strings.Contains(*ratio, ",") {
+		if *tenants > 1 {
+			fmt.Fprintln(os.Stderr, "-tenants is a single-run flag; use one workload, policy and ratio")
+			os.Exit(2)
+		}
 		cfg.EventDir = *traceOut
 		runMatrix(cfg, *wname, *pname, *ratio, *parallel)
+		return
+	}
+
+	if *tenants > 1 {
+		runTenantsMode(cfg, *wname, *pname, *ratio, *tenants, *tSkew, *tChurn, *tFloor, *traceOut, *baseline)
 		return
 	}
 
@@ -171,6 +202,78 @@ func main() {
 	if *baseline {
 		b := bench.RunBaseline(*wname, cfg)
 		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)
+	}
+}
+
+// runTenantsMode is the -tenants N path: N instances of the named
+// workload contend in separate address spaces under one policy, with
+// the weight skew, churn plan and tenant-0 floor from the flags. The
+// per-tenant accounting table follows the usual metrics block.
+func runTenantsMode(cfg bench.Config, wname, pname, ratio string, n int, skew string, churn float64, floor uint64, traceOut string, baseline bool) {
+	if !bench.KnownPolicy(pname) {
+		fmt.Fprintf(os.Stderr, "unknown policy %q (see -list)\n", pname)
+		os.Exit(2)
+	}
+	if skew != "flat" && skew != "8to1" {
+		fmt.Fprintf(os.Stderr, "unknown tenant skew %q (flat or 8to1)\n", skew)
+		os.Exit(2)
+	}
+	r := parseRatio(ratio)
+	w, err := workload.New(wname)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (see -list)\n", wname)
+		os.Exit(2)
+	}
+	per := w.Spec().RSSBytes()
+	specs := make([]tenant.Spec, n)
+	nChurn := int(churn * float64(n))
+	for i := range specs {
+		specs[i] = tenant.Spec{
+			Name:     fmt.Sprintf("t%02d", i),
+			Weight:   1,
+			Workload: workload.MustNew(wname),
+		}
+		if skew == "8to1" && i == 0 {
+			specs[i].Weight = 8
+		}
+		if i >= 1 && i <= nChurn {
+			specs[i].SpawnFrac = 0.1
+			specs[i].ExitFrac = 0.7
+		}
+	}
+	specs[0].FloorBytes = floor
+	tn, err := tenant.New(tenant.Config{Tenants: specs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim: -tenants:", err)
+		os.Exit(2)
+	}
+	rss := per * uint64(n)
+	flushTrace := setupTrace(&cfg, traceOut)
+	res := bench.RunTenants(tn, rss, pname, r, cfg)
+	cfg.Trace = nil
+	if err := flushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "memtis-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload        %s x %d tenants (skew %s, churn %.0f%%)\n", wname, n, skew, churn*100)
+	printResult(res, r.Name, cfg, cfg.Faults.Enabled())
+	printTenants(res)
+	if baseline {
+		b := bench.RunTenants(tn, rss, "all-capacity", r, cfg)
+		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)
+	}
+}
+
+// printTenants prints the per-tenant accounting rows of a multi-tenant
+// result (no-op for single-space runs, whose Tenants slice is nil).
+func printTenants(res sim.Result) {
+	if len(res.Tenants) == 0 {
+		return
+	}
+	fmt.Printf("per-tenant      %-12s %12s %12s %10s\n", "name", "accesses", "resident MB", "fast MB")
+	for _, tr := range res.Tenants {
+		fmt.Printf("                %-12s %12d %12.1f %10.1f\n",
+			tr.Name, tr.Accesses, mb(tr.ResidentBytes), mb(tr.FastBytes))
 	}
 }
 
@@ -289,6 +392,7 @@ func runScenarioSingle(cfg bench.Config, path, pname, ratio, series, traceOut st
 	fmt.Printf("scenario        %s (%s)\n", sc.Name(), path)
 	// The scenario's own fault plan overrides -faults (see ScenarioMachine).
 	printResult(res, r.Name, cfg, cfg.Faults.Enabled() || sc.FaultConfig().Enabled())
+	printTenants(res)
 	if baseline {
 		b := bench.RunScenarioBaseline(sc, cfg)
 		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)

@@ -36,7 +36,7 @@ import (
 func main() {
 	var (
 		out      = flag.String("out", "results", "output directory")
-		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead,faultsweep)")
+		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead,tenantsweep,faultsweep)")
 		accesses = flag.Uint64("accesses", 2_000_000, "access budget per run")
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		parallel = flag.Int("parallel", 0, "worker pool size for matrix experiments (0 = GOMAXPROCS, 1 = sequential)")
@@ -212,6 +212,19 @@ func main() {
 			title := fmt.Sprintf("scenarios: normalized performance (vs all-%s, seed %d, %d accesses/cell)",
 				cfg.CapKind, cfg.Seed, cfg.Accesses)
 			return bench.MatrixTable(title, m, names, bench.MainRatios, bench.Policies), nil
+		}},
+		{"tenantsweep", func() (bench.Table, error) {
+			// The tenant-count x skew x churn fairness matrix
+			// (EXPERIMENTS.md "Tenant sweep"): every cell normalised to
+			// the same policy's single-tenant run, so the sweep isolates
+			// the cost of multi-tenant contention and QoS arbitration.
+			m, err := runner.TenantSweep(ctx, cfg, bench.Ratio1to8, nil, nil)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			writeCounters(*out, "tenantsweep", m)
+			title := fmt.Sprintf("tenant sweep: 1:8 throughput vs tenant count/skew/churn (normalised to each policy's single-tenant run, seed %d)", cfg.Seed)
+			return bench.TenantSweepTable(title, m, bench.Ratio1to8, nil, nil), nil
 		}},
 		{"faultsweep", func() (bench.Table, error) {
 			// The fault-rate x policy degradation matrix (EXPERIMENTS.md

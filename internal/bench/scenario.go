@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"memtis/internal/scenario"
@@ -233,6 +234,15 @@ func HuntScenario(seed uint64, accesses uint64, reproDir string) (HuntResult, er
 		if res.Accesses != cfg.Accesses {
 			v = append(v, fmt.Sprintf("scenario seed=%#x policy=%s: ran %d accesses, want %d",
 				seed, pol, res.Accesses, cfg.Accesses))
+		}
+		// The QoS arbiter vetoes any demotion below a warmed floor and
+		// credits the tenant's own frees, so a floor violation is a
+		// tenant-isolation conformance breach, not workload noise.
+		for _, mt := range res.Counters {
+			if strings.HasSuffix(mt.Name, "/floor_violations") && mt.Value > 0 {
+				v = append(v, fmt.Sprintf("scenario seed=%#x policy=%s: %s = %d (fast-tier floor not isolated)",
+					seed, pol, mt.Name, mt.Value))
+			}
 		}
 		return v, res, nil
 	}

@@ -1,0 +1,78 @@
+// Multi-tenant scheduler overhead benchmarks: the baton handoff, the
+// per-access observer check and the veto layer all sit on the hot
+// loop, so per-access cost at 64 and 1024 tenants is measured against
+// the single-tenant run and gated in CI (64 tenants must stay within
+// 1.3x of one).
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"memtis/internal/sim"
+	"memtis/internal/tenant"
+)
+
+// benchTenantRun drives a flat n-tenant mix under memtis for exactly
+// b.N accesses; machine construction (including the n address spaces)
+// happens before the timer starts, scheduling and access cost inside.
+func benchTenantRun(b *testing.B, n int) {
+	tc, rss := TenantMix(TenantPoint{Tenants: n, Skew: "flat"}, tenantSweepBytes(n))
+	tn, err := tenant.New(tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sim.NewMachine(tenantMachine(rss, Ratio1to8, 7, 0), NewPolicy("memtis"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	tn.Run(m, uint64(b.N))
+}
+
+func BenchmarkTenantAccess(b *testing.B) {
+	for _, n := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("tenants=%d", n), func(b *testing.B) {
+			benchTenantRun(b, n)
+		})
+	}
+}
+
+// TestTenantAccessOverheadGate is the CI regression gate: per-access
+// cost at 64 tenants within 1.3x of single-tenant. Best-of-three on
+// each side defends against scheduler noise; the budget is fixed so
+// both sides amortise machine setup identically.
+func TestTenantAccessOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark gate")
+	}
+	measure := func(n int) float64 {
+		const budget = 2_000_000
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				tc, rss := TenantMix(TenantPoint{Tenants: n, Skew: "flat"}, tenantSweepBytes(n))
+				tn, err := tenant.New(tc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < b.N; j++ {
+					b.StopTimer()
+					m := sim.NewMachine(tenantMachine(rss, Ratio1to8, 7, 0), NewPolicy("memtis"))
+					b.StartTimer()
+					tn.Run(m, budget)
+				}
+			})
+			ns := float64(r.T.Nanoseconds()) / (float64(r.N) * budget)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	one := measure(1)
+	many := measure(64)
+	t.Logf("per-access: 1 tenant %.1fns, 64 tenants %.1fns (%.2fx)", one, many, many/one)
+	if many > one*1.3 {
+		t.Fatalf("64-tenant per-access cost %.1fns is %.2fx single-tenant (%.1fns); gate is 1.3x",
+			many, many/one, one)
+	}
+}

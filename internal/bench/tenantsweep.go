@@ -1,0 +1,276 @@
+// The tenant sweep: a (tenant count x share skew x churn rate) x
+// policy matrix quantifying multi-tenancy overhead and fairness cost
+// (DESIGN.md §10). Every cell is normalised to the *same policy's*
+// single-tenant run, so the sweep isolates the price of contention and
+// arbitration from baseline placement quality.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"memtis/internal/sim"
+	"memtis/internal/tenant"
+	"memtis/internal/tier"
+)
+
+// TenantLoad is the sweep's per-tenant synthetic workload: an 80/20
+// hot/cold mix over the tenant's own region, driven by a SplitMix64
+// counter stream seeded from the machine seed and the tenant name.
+// It is stateless across runs (all run state is local to Run), so one
+// value is safely shared by parallel cells, and under the tenant
+// scheduler its per-space access budget makes every tenant run until
+// the global budget is spent.
+type TenantLoad struct {
+	name  string
+	bytes uint64
+}
+
+// NewTenantLoad builds a tenant workload over a region of the given
+// size (rounded up to one base page).
+func NewTenantLoad(name string, bytes uint64) *TenantLoad {
+	if bytes < tier.BasePageSize {
+		bytes = tier.BasePageSize
+	}
+	return &TenantLoad{name: name, bytes: bytes}
+}
+
+func (t *TenantLoad) Name() string { return t.name }
+
+// RSSBytes reports the region the workload reserves on first schedule.
+func (t *TenantLoad) RSSBytes() uint64 { return t.bytes }
+
+func (t *TenantLoad) Run(m *sim.Machine, accesses uint64) {
+	r := m.Reserve(t.bytes)
+	hot := r.Pages / 8
+	if hot == 0 {
+		hot = 1
+	}
+	base := splitmix64(uint64(m.Cfg.Seed) ^ fnv1a(t.name))
+	var ctr uint64
+	for m.Accesses() < accesses {
+		ctr++
+		x := splitmix64(base + ctr)
+		span := hot
+		if x%5 == 4 { // 20% of probes roam the full region
+			span = r.Pages
+		}
+		m.Access(r.BaseVPN+(x>>8)%span, x&7 == 0)
+	}
+}
+
+// TenantPoint is one sweep coordinate: how many tenants contend, how
+// their promotion weights are skewed, and what fraction of them churn
+// (spawn late, exit early) during the run.
+type TenantPoint struct {
+	Tenants   int
+	Skew      string  // "flat" (all weight 1) or "8to1" (tenant 0 gets 8x)
+	ChurnFrac float64 // fraction of tenants 1..n-1 that spawn/exit mid-run
+}
+
+// DefaultTenantPoints is the standard sweep: the single-tenant
+// reference plus count x skew x churn combinations small enough for CI.
+var DefaultTenantPoints = []TenantPoint{
+	{Tenants: 1, Skew: "flat"},
+	{Tenants: 4, Skew: "flat"},
+	{Tenants: 4, Skew: "8to1"},
+	{Tenants: 4, Skew: "flat", ChurnFrac: 0.5},
+	{Tenants: 16, Skew: "flat"},
+	{Tenants: 16, Skew: "8to1"},
+	{Tenants: 16, Skew: "8to1", ChurnFrac: 0.5},
+	{Tenants: 64, Skew: "flat"},
+	{Tenants: 64, Skew: "8to1", ChurnFrac: 0.5},
+}
+
+// tenantCoord spells one sweep cell's ratio coordinate. The point is
+// folded into the coordinate so CellSeed gives every (point, policy)
+// cell an independent, worker-count-invariant stream.
+func tenantCoord(rt Ratio, p TenantPoint) string {
+	return fmt.Sprintf("%s+t%d+%s+c%d", rt.Name, p.Tenants, p.Skew, int(p.ChurnFrac*100+0.5))
+}
+
+// TenantMix builds the sweep's tenant configuration for a point: n
+// tenants each driving a TenantLoad over perTenantBytes of its own
+// address space. Skew "8to1" gives tenant 0 weight 8 (everyone else 1);
+// a ChurnFrac of the tenants after the first spawn at 10% and exit at
+// 70% of the run. Large mixes get a smaller scheduling slice so the
+// budget still spreads across every tenant. Returns the config and the
+// mix's combined resident footprint.
+func TenantMix(p TenantPoint, perTenantBytes uint64) (tenant.Config, uint64) {
+	specs := make([]tenant.Spec, p.Tenants)
+	churn := int(p.ChurnFrac * float64(p.Tenants))
+	var rss uint64
+	for i := range specs {
+		name := fmt.Sprintf("t%03d", i)
+		specs[i] = tenant.Spec{
+			Name:     name,
+			Weight:   1,
+			Workload: NewTenantLoad(name, perTenantBytes),
+		}
+		if p.Skew == "8to1" && i == 0 {
+			specs[i].Weight = 8
+		}
+		if i >= 1 && i <= churn {
+			specs[i].SpawnFrac = 0.1
+			specs[i].ExitFrac = 0.7
+		}
+		rss += perTenantBytes
+	}
+	cfg := tenant.Config{Tenants: specs}
+	if p.Tenants >= 256 {
+		cfg.Slice = 256
+	}
+	return cfg, rss
+}
+
+// tenantSweepBytes sizes the per-tenant region so the whole mix stays
+// near a fixed total footprint: contention pressure comes from the
+// tenant count, not from an ever-growing machine.
+func tenantSweepBytes(n int) uint64 {
+	const total = 64 << 20
+	per := uint64(total / n)
+	if per < 1<<20 {
+		per = 1 << 20
+	}
+	return per
+}
+
+// RunTenants executes one (tenant mix, policy, ratio) cell: machine
+// sized from the mix's combined footprint exactly like MachineFor,
+// driven by the tenant scheduler to the full access budget.
+func RunTenants(tn *tenant.Runner, rss uint64, polName string, rt Ratio, cfg Config) sim.Result {
+	fast := uint64(float64(rss) * rt.FastFrac)
+	if fast < tier.HugePageSize*2 {
+		fast = tier.HugePageSize * 2
+	}
+	mc := sim.Config{
+		FastBytes: fast,
+		CapBytes:  rss + rss/4 + 16*tier.HugePageSize,
+		CapKind:   cfg.CapKind,
+		THP:       true,
+		Threads:   cfg.Threads,
+		Seed:      cfg.Seed,
+		RecordNS:  cfg.RecordNS,
+		Trace:     cfg.Trace,
+		Faults:    cfg.Faults,
+	}
+	return sim.Run(mc, NewPolicy(polName), tn, cfg.Accesses)
+}
+
+// TenantSweep runs every policy at every tenant point on one tiering
+// ratio. Points always include the single-tenant reference (prepended
+// when missing); each cell's Value is its throughput normalised to the
+// same policy's single-tenant run, so a value of 0.8 reads "this
+// policy loses 20% throughput under this degree of multi-tenancy".
+func (r *Runner) TenantSweep(ctx context.Context, cfg Config, rt Ratio, pols []string, points []TenantPoint) (*Matrix, error) {
+	if pols == nil {
+		pols = Policies
+	}
+	if points == nil {
+		points = DefaultTenantPoints
+	}
+	if points[0].Tenants != 1 {
+		points = append([]TenantPoint{{Tenants: 1, Skew: "flat"}}, points...)
+	}
+	if cfg.EventDir != "" {
+		if err := os.MkdirAll(cfg.EventDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		failMu sync.Mutex
+		failed error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if failed == nil {
+			failed = err
+		}
+		failMu.Unlock()
+	}
+	// One immutable runner per point, shared by that point's policy
+	// cells (all run state is per-Run).
+	runners := make([]*tenant.Runner, len(points))
+	rsses := make([]uint64, len(points))
+	for i, pt := range points {
+		tc, rss := TenantMix(pt, tenantSweepBytes(pt.Tenants))
+		tn, err := tenant.New(tc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: tenant sweep point %+v: %w", pt, err)
+		}
+		runners[i], rsses[i] = tn, rss
+	}
+	const wname = "tenants"
+	results := make([]sim.Result, len(points)*len(pols))
+	var tasks []cellTask
+	for ti, pt := range points {
+		for pi, p := range pols {
+			ti, pi, p := ti, pi, p
+			slot := ti*len(pols) + pi
+			coord := tenantCoord(rt, pt)
+			tasks = append(tasks, cellTask{
+				label: fmt.Sprintf("%s/%s/%s", wname, coord, p),
+				run: func() uint64 {
+					ccfg := CellConfig(cfg, wname, coord, p)
+					closeTrace, err := cellTrace(cfg.EventDir, wname, coord, p, &ccfg)
+					if err != nil {
+						fail(err)
+						return 0
+					}
+					results[slot] = RunTenants(runners[ti], rsses[ti], p, rt, ccfg)
+					if err := closeTrace(); err != nil {
+						fail(err)
+					}
+					return results[slot].AppNS
+				},
+			})
+		}
+	}
+	if err := r.do(ctx, tasks); err != nil {
+		return nil, err
+	}
+	if failed != nil {
+		return nil, fmt.Errorf("bench: writing event traces: %w", failed)
+	}
+	m := &Matrix{}
+	for ti, pt := range points {
+		for pi, p := range pols {
+			res := results[ti*len(pols)+pi]
+			base := results[pi] // points[0].Tenants == 1: the reference row
+			m.Cells = append(m.Cells, Cell{
+				Workload: wname, Ratio: tenantCoord(rt, pt), Policy: p,
+				Value: Norm(res, base), Result: res,
+			})
+		}
+	}
+	return m, nil
+}
+
+// TenantSweepTable renders a tenant sweep as a point x policy table
+// (the EXPERIMENTS.md "Tenant sweep" presentation): rows are sweep
+// points, values are throughput relative to that policy's
+// single-tenant run.
+func TenantSweepTable(title string, m *Matrix, rt Ratio, pols []string, points []TenantPoint) Table {
+	if pols == nil {
+		pols = Policies
+	}
+	if points == nil {
+		points = DefaultTenantPoints
+	}
+	t := Table{Title: title, Header: append([]string{"tenants"}, pols...)}
+	for _, pt := range points {
+		label := fmt.Sprintf("%d %s", pt.Tenants, pt.Skew)
+		if pt.ChurnFrac > 0 {
+			label += fmt.Sprintf(" churn=%d%%", int(pt.ChurnFrac*100+0.5))
+		}
+		row := []interface{}{label}
+		for _, p := range pols {
+			v, _ := m.Get("tenants", tenantCoord(rt, pt), p)
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -449,11 +449,24 @@ func (p *Policy) changeBin(pg *vm.Page, histFrom, newBin int) {
 	// A base page turning hot may complete an all-hot block: nominate
 	// it for collapse verification at the next cooling.
 	if newBin > old && newBin >= p.th.Hot && !pg.IsHuge() && !p.cfg.SplitDisabled {
-		b := pg.VPN / tier.SubPages
+		b := blockKey(pg)
 		if bs := p.blocks[b]; bs != nil && bs.present == tier.SubPages {
 			p.enqueueBlock(b, bs)
 		}
 	}
+}
+
+// blockTagShift positions a page's owning-space index above its 2MB
+// block index in the collapse-tracking keys, mirroring
+// sim.SpaceTagShift on vpns: two tenants' identical block indices must
+// not pool their presence counts (a cross-tenant "full" block would
+// nominate an uncollapsible range forever). 31 = SpaceTagShift - 9
+// block-index bits per space.
+const blockTagShift = sim.SpaceTagShift - 9
+
+// blockKey identifies the 2MB block of a base page, tenant-qualified.
+func blockKey(pg *vm.Page) uint64 {
+	return uint64(pg.Owner)<<blockTagShift | pg.VPN/tier.SubPages
 }
 
 // blockAdd accounts a base page into its 2MB block; a block reaching
@@ -462,7 +475,7 @@ func (p *Policy) blockAdd(pg *vm.Page) {
 	if p.cfg.SplitDisabled {
 		return
 	}
-	b := pg.VPN / tier.SubPages
+	b := blockKey(pg)
 	bs := p.blocks[b]
 	if bs == nil {
 		bs = &blockState{}
@@ -479,7 +492,7 @@ func (p *Policy) blockRemove(pg *vm.Page) {
 	if p.cfg.SplitDisabled {
 		return
 	}
-	b := pg.VPN / tier.SubPages
+	b := blockKey(pg)
 	bs := p.blocks[b]
 	if bs == nil {
 		return
@@ -749,7 +762,7 @@ func (p *Policy) cool() {
 	}
 	p.backgroundNS += 2 * histogram.Bins * coolPageScanNS
 	if p.eagerConverge {
-		p.m.AS.ForEachPage(p.applyCooling)
+		p.m.ForEachPage(p.applyCooling)
 	}
 	p.trace.Emit(obs.EvCooling, 0, false, 0, p.coolEpoch)
 	p.adaptThresholds()
@@ -768,7 +781,7 @@ func (p *Policy) coolSweep() {
 		return
 	}
 	n := p.cfg.CoolSweepPages
-	p.sweepCursor = p.m.AS.ForEachPageFrom(p.sweepCursor, n, func(pg *vm.Page) {
+	p.sweepCursor = p.m.ForEachPageFrom(p.sweepCursor, n, func(pg *vm.Page) {
 		*p.sweepPages++
 		p.backgroundNS += listScanPageNS
 		if pg.PFlags&flagRegistered == 0 {
@@ -779,7 +792,7 @@ func (p *Policy) coolSweep() {
 			p.fastListAdd(pg)
 		}
 		if !pg.IsHuge() && !p.cfg.SplitDisabled && pg.Bin >= p.th.Hot {
-			b := pg.VPN / tier.SubPages
+			b := blockKey(pg)
 			if bs := p.blocks[b]; bs != nil && bs.present == tier.SubPages {
 				p.enqueueBlock(b, bs)
 			}
@@ -1006,7 +1019,7 @@ func (p *Policy) splitOne(pg *vm.Page) {
 	if p.bth.MarginBin >= 1 && p.bth.MarginBin < hotBin {
 		hotBin = p.bth.MarginBin
 	}
-	subs, ns := p.m.AS.Split(pg, func(j int) tier.ID {
+	subs, ns := p.m.SpaceOf(pg).Split(pg, func(j int) tier.ID {
 		if histogram.BinOf(pg.SubHotness(j)) >= hotBin {
 			if p.m.Fast.FreeFrames() > 0 {
 				return tier.FastTier
@@ -1185,7 +1198,7 @@ func (p *Policy) reclaimTo(frames uint64, allowWarm bool, budget *uint64) {
 // from a cursor, like the kernel's LRU walkers — never a full scan.
 func (p *Policy) hybridScan() {
 	var scanned uint64
-	p.scanCursor = p.m.AS.ForEachPageFrom(p.scanCursor, p.cfg.HybridScanPages, func(pg *vm.Page) {
+	p.scanCursor = p.m.ForEachPageFrom(p.scanCursor, p.cfg.HybridScanPages, func(pg *vm.Page) {
 		if pg.PFlags&flagRegistered == 0 {
 			return
 		}
@@ -1231,11 +1244,15 @@ func (p *Policy) tryCollapse() {
 		if bs.present != tier.SubPages {
 			continue
 		}
-		base := b * tier.SubPages
+		// The ready key carries the owning space above blockTagShift;
+		// table lookups and the collapse itself must go through that
+		// space (only migrations are space-agnostic).
+		as := p.m.Space(int(b >> blockTagShift))
+		base := (b & (1<<blockTagShift - 1)) * tier.SubPages
 		allHot := true
 		checked := uint64(0)
 		for j := uint64(0); j < tier.SubPages; j++ {
-			pg := p.m.AS.Lookup(base + j)
+			pg := as.Lookup(base + j)
 			if pg == nil || pg.IsHuge() || pg.PFlags&flagRegistered == 0 {
 				allHot = false
 				break
@@ -1256,7 +1273,7 @@ func (p *Policy) tryCollapse() {
 		if p.m.Fast.HasHugeFrame() {
 			dst = tier.FastTier
 		}
-		hp, ns, ok := p.m.AS.Collapse(base, dst)
+		hp, ns, ok := as.Collapse(base, dst)
 		if !ok {
 			continue
 		}

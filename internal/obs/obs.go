@@ -62,6 +62,15 @@ const (
 	// EvFaultWindow: the fault plan entered an injection window.
 	// Aux = window kind (tier.ThrottleWindow or tier.StallWindow).
 	EvFaultWindow
+	// EvTenantSpawn: a tenant process started. VPN = tenant index
+	// (its workload reserves memory once first scheduled).
+	EvTenantSpawn
+	// EvTenantExit: a tenant process exited and its address space was
+	// freed. VPN = tenant index, Bytes = resident bytes released.
+	EvTenantExit
+	// EvTenantSwitch: the tenant scheduler switched the running
+	// tenant. VPN = tenant index, Aux = accesses granted in the slice.
+	EvTenantSwitch
 
 	numKinds
 )
@@ -82,6 +91,9 @@ var kindNames = [numKinds]string{
 	EvMigrateAbort:    "migrate_abort",
 	EvMigrateRetry:    "migrate_retry",
 	EvFaultWindow:     "fault_window",
+	EvTenantSpawn:     "tenant_spawn",
+	EvTenantExit:      "tenant_exit",
+	EvTenantSwitch:    "tenant_switch",
 }
 
 // String returns the stable wire name of the kind (used in JSONL).

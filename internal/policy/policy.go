@@ -233,6 +233,11 @@ func (b *Base) MigrateSync(pg *vm.Page, dst tier.ID) (uint64, bool) {
 	case vm.MigrateAborted:
 		*mc.syncRejFault++
 		return ns, false
+	case vm.MigrateDenied:
+		// The QoS arbiter vetoed the move below the policy — same
+		// observable outcome as a rejected admission hook.
+		*mc.syncRejAdm++
+		return 0, false
 	}
 	*mc.syncPages += pg.Units()
 	*mc.syncBytes += pg.Bytes()
@@ -251,8 +256,11 @@ func (b *Base) MigrateAsync(pg *vm.Page, dst tier.ID) bool {
 	b.BgNS += ns
 	if st != vm.MigrateOK {
 		*mc.asyncRej++
-		if st == vm.MigrateAborted {
+		switch st {
+		case vm.MigrateAborted:
 			*mc.asyncRejFault++
+		case vm.MigrateDenied:
+			*mc.asyncRejAdm++
 		}
 		return false
 	}

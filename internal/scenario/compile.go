@@ -7,6 +7,7 @@ import (
 
 	"memtis/internal/dist"
 	"memtis/internal/sim"
+	"memtis/internal/tenant"
 	"memtis/internal/tier"
 	"memtis/internal/trace"
 	"memtis/internal/vm"
@@ -30,6 +31,9 @@ type Runner struct {
 	fc     tier.FaultConfig
 	phases []cphase
 	rss    uint64
+	// tn is the tenant multiplexer of a multi-tenant spec (nil for the
+	// single-tenant phase form); Run delegates to it wholesale.
+	tn *tenant.Runner
 }
 
 // cphase is one compiled phase: the spec plus its pre-built access
@@ -47,6 +51,9 @@ func Compile(spec Spec, opt Options) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{spec: spec, fc: spec.FaultConfig()}
+	if len(spec.Tenants) > 0 {
+		return compileTenants(r, opt)
+	}
 	live := map[string]uint64{}
 	var running, peak uint64
 	for i := range spec.Phases {
@@ -107,6 +114,46 @@ func Compile(spec Spec, opt Options) (*Runner, error) {
 	return r, nil
 }
 
+// compileTenants builds the multi-tenant form: each tenant's phase
+// list compiles into its own sub-Runner (scenario -> tenant -> sim,
+// one direction), and internal/tenant's scheduler interleaves them.
+// The resident estimate is the sum over tenants — every tenant's
+// footprint contends for the same tiers.
+func compileTenants(r *Runner, opt Options) (*Runner, error) {
+	specs := make([]tenant.Spec, len(r.spec.Tenants))
+	var rss uint64
+	for i := range r.spec.Tenants {
+		t := &r.spec.Tenants[i]
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", i)
+		}
+		sub, err := Compile(Spec{Name: r.spec.Name + "/" + name, Phases: t.Phases}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: tenant %d (%s): %w", i, name, err)
+		}
+		specs[i] = tenant.Spec{
+			Name:       name,
+			Weight:     t.Weight,
+			FloorBytes: t.FloorBytes,
+			Workload:   sub,
+			SpawnFrac:  t.SpawnFrac,
+			ExitFrac:   t.ExitFrac,
+			GrowBytes:  t.GrowBytes,
+			GrowFrac:   t.GrowFrac,
+			ShrinkFrac: t.ShrinkFrac,
+		}
+		rss += sub.RSSBytes() + t.GrowBytes
+	}
+	tn, err := tenant.New(tenant.Config{Tenants: specs})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	r.tn = tn
+	r.rss = rss
+	return r, nil
+}
+
 // MustCompile is Compile for tests and examples.
 func MustCompile(spec Spec, opt Options) *Runner {
 	r, err := Compile(spec, opt)
@@ -131,6 +178,15 @@ func (r *Runner) RSSBytes() uint64 { return r.rss }
 // spec declares none).
 func (r *Runner) FaultConfig() tier.FaultConfig { return r.fc }
 
+// NumTenants returns the tenant count of a multi-tenant scenario
+// (1 for the single-tenant phase form).
+func (r *Runner) NumTenants() int {
+	if r.tn == nil {
+		return 1
+	}
+	return len(r.spec.Tenants)
+}
+
 // Run implements sim.Workload: phases execute in order, each driven
 // until the machine's cumulative access count reaches the phase's share
 // of the budget. Weights split the budget proportionally with integer
@@ -145,6 +201,14 @@ func (r *Runner) FaultConfig() tier.FaultConfig { return r.fc }
 // fixed (spec, machine config, budget) triple always produces a
 // byte-identical access stream and event trace.
 func (r *Runner) Run(m *sim.Machine, accesses uint64) {
+	if r.tn != nil {
+		// Multi-tenant: the tenant scheduler owns the budget split;
+		// each tenant's sub-runner sees the global budget as its
+		// nominal target (per-space progress runs behind it, so the
+		// scheduler's kill at the global budget is what ends tenants).
+		r.tn.Run(m, accesses)
+		return
+	}
 	var total float64
 	for i := range r.phases {
 		total += r.phases[i].p.effWeight()

@@ -73,6 +73,64 @@ func TestScenarioReproducesWorkloadByteIdentically(t *testing.T) {
 	}
 }
 
+// TestScenarioTenantsRun compiles and runs the multi-tenant spec form
+// end to end: exact global budget, one result row per tenant, named
+// tenant counters in the registry, and the tenant event kinds in the
+// trace.
+func TestScenarioTenantsRun(t *testing.T) {
+	mk := func() []scenario.Phase {
+		return []scenario.Phase{
+			{Grow: []scenario.Region{{Name: "a", Bytes: 4 << 20}},
+				Mix: []scenario.MixEntry{{Region: "a", Dist: "zipf", S: 0.99}}},
+		}
+	}
+	sc := scenario.MustCompile(scenario.Spec{
+		Name: "multi",
+		Tenants: []scenario.TenantSpec{
+			{Name: "x", Weight: 2, Phases: mk()},
+			{Name: "y", FloorBytes: 2 << 20, Phases: mk(), SpawnFrac: 0.2, ExitFrac: 0.8},
+		},
+	}, scenario.Options{})
+	if sc.NumTenants() != 2 {
+		t.Fatalf("NumTenants = %d", sc.NumTenants())
+	}
+	if sc.RSSBytes() != 8<<20 {
+		t.Fatalf("RSSBytes = %d, want the tenants' sum", sc.RSSBytes())
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	cfg := bench.DefaultConfig()
+	cfg.Accesses = 80_000
+	cfg.Trace = obs.NewTracer(sink)
+	res := bench.RunScenario(sc, "memtis", bench.Ratio1to8, cfg)
+	if res.Accesses != cfg.Accesses {
+		t.Fatalf("issued %d accesses, want %d", res.Accesses, cfg.Accesses)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("got %d tenant rows, want 2", len(res.Tenants))
+	}
+	if res.Tenants[0].Name != "x" || res.Tenants[1].Name != "y" {
+		t.Fatalf("tenant rows %+v", res.Tenants)
+	}
+	found := map[string]bool{}
+	for _, mt := range res.Counters {
+		found[mt.Name] = true
+	}
+	for _, name := range []string{"tenant/x/accesses", "tenant/y/floor_violations"} {
+		if !found[name] {
+			t.Fatalf("counter %s missing (have %d counters)", name, len(res.Counters))
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"tenant_spawn", "tenant_switch", "tenant_exit"} {
+		if !bytes.Contains(buf.Bytes(), []byte(kind)) {
+			t.Fatalf("event trace has no %s event", kind)
+		}
+	}
+}
+
 // TestScenarioChurn pins the Free/Grow semantics: regions grown in one
 // phase and freed in a later one leave the resident set, and SkipInit
 // regions stay unmapped until accessed.

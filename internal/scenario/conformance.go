@@ -123,7 +123,7 @@ func (p *Probe) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 		p.check("OnAccess")
 	}
 	if p.accesses%p.auditEvery == 0 {
-		if err := p.m.AS.Audit(); err != nil {
+		if err := p.m.Audit(); err != nil {
 			p.violatef("address-space audit after %d accesses: %v", p.accesses, err)
 		}
 	}
@@ -157,7 +157,7 @@ func (p *Probe) check(where string) {
 	}
 	if hr, ok := p.inner.(sim.HotSetReporter); ok {
 		hot, warm, cold := hr.HotSet()
-		rss := p.m.AS.RSSBytes()
+		rss := p.m.RSSBytes()
 		// Slack for in-flight split/collapse histogram bookkeeping.
 		const slack = 2 * tier.HugePageSize
 		if hot > rss+slack || hot+warm+cold > rss+slack {
@@ -174,7 +174,7 @@ func (p *Probe) check(where string) {
 // runs) plus the exported bg_share_mcores gauge (DESIGN.md §8).
 func (p *Probe) FinalCheck() {
 	p.check("final")
-	if err := p.m.AS.Audit(); err != nil {
+	if err := p.m.Audit(); err != nil {
 		p.violatef("final address-space audit: %v", err)
 	}
 	cores := p.m.Cfg.Cores

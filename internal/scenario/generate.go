@@ -41,7 +41,53 @@ func Generate(seed uint64) Spec {
 	if g.chance(1, 2) {
 		s.Faults = genFaults(g)
 	}
-	nPhases := 1 + g.intn(4)
+	// A third of the seeds exercise the multi-tenant form, so the
+	// nightly hunt covers the tenant scheduler, churn and QoS arbiter
+	// under every policy for free.
+	if g.chance(1, 3) {
+		s.Tenants = genTenants(g)
+		return s
+	}
+	s.Phases = genPhases(g, 1+g.intn(4))
+	return s
+}
+
+// genTenants derives 2-4 small tenants: tenant 0 immortal (the spec
+// must outlive its churn), later tenants may spawn late, exit early,
+// carry fast-tier floors, weights and grow/shrink churn.
+func genTenants(g *genRNG) []TenantSpec {
+	n := 2 + g.intn(3)
+	out := make([]TenantSpec, n)
+	for i := range out {
+		t := &out[i]
+		t.Phases = genPhases(g, 1+g.intn(2))
+		if g.chance(1, 2) {
+			t.Weight = uint64(1 + g.intn(4))
+		}
+		if g.chance(1, 3) {
+			t.FloorBytes = uint64(1+g.intn(4)) << 20
+		}
+		if i > 0 && g.chance(1, 3) {
+			t.SpawnFrac = 0.1 * float64(1+g.intn(3))
+			if g.chance(1, 2) {
+				t.ExitFrac = t.SpawnFrac + 0.1*float64(1+g.intn(5))
+			}
+		}
+		if g.chance(1, 4) {
+			t.GrowBytes = uint64(1+g.intn(8)) << 20
+			t.GrowFrac = 0.1 * float64(1+g.intn(5))
+			if g.chance(1, 2) {
+				t.ShrinkFrac = t.GrowFrac + 0.1*float64(1+g.intn(3))
+			}
+		}
+	}
+	return out
+}
+
+// genPhases derives one phase sequence (the single-tenant scenario
+// body, and each tenant's program in the multi-tenant form).
+func genPhases(g *genRNG, nPhases int) []Phase {
+	var phases []Phase
 	live := map[string]bool{}
 	regionSeq := 0
 	zipfS := []float64{0.6, 0.8, 0.99, 1.1, 1.3}
@@ -124,9 +170,9 @@ func Generate(seed uint64) Spec {
 			p.RSSGB = 0.25 * float64(1+g.intn(8))
 			p.Weight = float64(1 + g.intn(4))
 		}
-		s.Phases = append(s.Phases, p)
+		phases = append(phases, p)
 	}
-	return s
+	return phases
 }
 
 // pickLive selects a live region deterministically (iteration order of

@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"memtis/internal/tier"
 	"memtis/internal/workload"
@@ -45,6 +46,10 @@ const (
 	// MaxRSSGB bounds a workload phase's paper-RSS override (Figure 6
 	// scales Graph500 to 690 paper-GB; 1024 leaves headroom).
 	MaxRSSGB = 1024
+	// MaxSpecTenants bounds a multi-tenant spec's tenant list (large
+	// sweeps build tenant.Config programmatically; declarative specs
+	// stay file-sized).
+	MaxSpecTenants = 64
 )
 
 // Spec is one declarative scenario. The zero value is invalid; a spec
@@ -62,7 +67,39 @@ type Spec struct {
 	// config's fault schedule for this scenario.
 	Faults string `json:"faults,omitempty"`
 	// Phases run in order, splitting the run's access budget by Weight.
+	// Mutually exclusive with Tenants.
+	Phases []Phase `json:"phases,omitempty"`
+	// Tenants, when present, makes the scenario multi-tenant: each
+	// entry is an independent process with its own phase list and
+	// address space, interleaved by internal/tenant's deterministic
+	// scheduler against one shared tier set. Mutually exclusive with
+	// top-level Phases.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+}
+
+// TenantSpec is one tenant of a multi-tenant scenario: its own phase
+// program plus the QoS and lifecycle knobs of tenant.Spec. Fractions
+// are of the run's global access budget.
+type TenantSpec struct {
+	// Name labels the tenant's counters and result row (default
+	// "t<index>").
+	Name string `json:"name,omitempty"`
+	// Weight is the fairness share weight (default 1).
+	Weight uint64 `json:"weight,omitempty"`
+	// FloorBytes is the guaranteed fast-tier floor.
+	FloorBytes uint64 `json:"floor_bytes,omitempty"`
+	// Phases is this tenant's program, with the same grammar as a
+	// single-tenant scenario's phase list.
 	Phases []Phase `json:"phases"`
+
+	// SpawnFrac/ExitFrac delay the tenant's start / kill it early;
+	// GrowBytes at GrowFrac (freed at ShrinkFrac) models RSS churn —
+	// see tenant.Spec.
+	SpawnFrac  float64 `json:"spawn_frac,omitempty"`
+	ExitFrac   float64 `json:"exit_frac,omitempty"`
+	GrowBytes  uint64  `json:"grow_bytes,omitempty"`
+	GrowFrac   float64 `json:"grow_frac,omitempty"`
+	ShrinkFrac float64 `json:"shrink_frac,omitempty"`
 }
 
 // Phase is one step of a scenario: optional churn (Free then Grow,
@@ -214,24 +251,39 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: faults: %w", err)
 		}
 	}
-	if len(s.Phases) == 0 {
-		return fmt.Errorf("scenario: spec needs at least one phase")
+	if len(s.Tenants) > 0 {
+		return s.validateTenants()
 	}
-	if len(s.Phases) > MaxPhases {
-		return fmt.Errorf("scenario: %d phases exceeds %d", len(s.Phases), MaxPhases)
+	peak, err := validatePhases(s.Phases)
+	if err != nil {
+		return err
+	}
+	if peak > MaxTotalBytes {
+		return fmt.Errorf("scenario: peak resident estimate %d exceeds %d", peak, MaxTotalBytes)
+	}
+	return nil
+}
+
+// validatePhases checks one phase sequence and returns its peak
+// resident estimate (tracked the same way Compile does).
+func validatePhases(phases []Phase) (uint64, error) {
+	if len(phases) == 0 {
+		return 0, fmt.Errorf("scenario: spec needs at least one phase")
+	}
+	if len(phases) > MaxPhases {
+		return 0, fmt.Errorf("scenario: %d phases exceeds %d", len(phases), MaxPhases)
 	}
 	live := map[string]uint64{} // named region -> bytes
 	var running, peak uint64
 	sources := 0
-	for i := range s.Phases {
-		p := &s.Phases[i]
+	for i := range phases {
+		p := &phases[i]
 		if err := p.validate(i, live); err != nil {
-			return err
+			return 0, err
 		}
 		if p.isSource() {
 			sources++
 		}
-		// Track the resident estimate the same way Compile does.
 		for _, name := range p.Free {
 			running -= live[name]
 			delete(live, name)
@@ -243,7 +295,7 @@ func (s Spec) Validate() error {
 		if p.Workload != "" {
 			spec, err := workload.SpecByName(p.Workload)
 			if err != nil {
-				return fmt.Errorf("scenario: phase %d: %w", i, err)
+				return 0, fmt.Errorf("scenario: phase %d: %w", i, err)
 			}
 			if p.RSSGB > 0 {
 				spec.PaperRSSGB = p.RSSGB
@@ -255,7 +307,75 @@ func (s Spec) Validate() error {
 		}
 	}
 	if sources == 0 {
-		return fmt.Errorf("scenario: no phase has an access source")
+		return 0, fmt.Errorf("scenario: no phase has an access source")
+	}
+	return peak, nil
+}
+
+// validateTenants checks the multi-tenant form. The rules mirror
+// tenant.Config.Validate (which Compile re-runs), plus the scenario
+// grammar per tenant phase list — so a validated spec always compiles.
+func (s Spec) validateTenants() error {
+	if len(s.Phases) > 0 {
+		return fmt.Errorf("scenario: top-level phases and tenants are mutually exclusive")
+	}
+	if len(s.Tenants) > MaxSpecTenants {
+		return fmt.Errorf("scenario: %d tenants exceeds %d", len(s.Tenants), MaxSpecTenants)
+	}
+	immortal := false
+	seen := map[string]bool{}
+	var peak uint64
+	for i := range s.Tenants {
+		t := &s.Tenants[i]
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", i)
+		}
+		if len(s.Name)+1+len(name) > 128 {
+			return fmt.Errorf("scenario: tenant %d: name %q overflows the 128-byte scenario name budget", i, name)
+		}
+		if seen[name] {
+			return fmt.Errorf("scenario: tenant %d: duplicate name %q", i, name)
+		}
+		seen[name] = true
+		if float64(t.Weight) > MaxWeight {
+			return fmt.Errorf("scenario: tenant %d: weight %d exceeds %v", i, t.Weight, float64(MaxWeight))
+		}
+		if t.FloorBytes > MaxRegionBytes {
+			return fmt.Errorf("scenario: tenant %d: floor %d exceeds %d", i, t.FloorBytes, uint64(MaxRegionBytes))
+		}
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{{"spawn_frac", t.SpawnFrac}, {"exit_frac", t.ExitFrac}, {"grow_frac", t.GrowFrac}, {"shrink_frac", t.ShrinkFrac}} {
+			if !isFinite(f.v) || f.v < 0 || f.v > 1 {
+				return fmt.Errorf("scenario: tenant %d: %s %v outside [0,1]", i, f.name, f.v)
+			}
+		}
+		if t.ExitFrac > 0 && t.SpawnFrac >= t.ExitFrac {
+			return fmt.Errorf("scenario: tenant %d: spawns at %v, at or after its exit %v", i, t.SpawnFrac, t.ExitFrac)
+		}
+		if t.GrowBytes > MaxRegionBytes {
+			return fmt.Errorf("scenario: tenant %d: grow bytes %d exceeds %d", i, t.GrowBytes, uint64(MaxRegionBytes))
+		}
+		if t.GrowBytes == 0 && (t.GrowFrac != 0 || t.ShrinkFrac != 0) {
+			return fmt.Errorf("scenario: tenant %d: grow/shrink fractions without grow bytes", i)
+		}
+		if t.GrowBytes > 0 && t.ShrinkFrac > 0 && t.ShrinkFrac <= t.GrowFrac {
+			return fmt.Errorf("scenario: tenant %d: shrinks at %v, at or before its grow %v", i, t.ShrinkFrac, t.GrowFrac)
+		}
+		if t.ExitFrac == 0 {
+			immortal = true
+		}
+		tpeak, err := validatePhases(t.Phases)
+		if err != nil {
+			return fmt.Errorf("scenario: tenant %d (%s): %s", i, name,
+				strings.TrimPrefix(err.Error(), "scenario: "))
+		}
+		peak += tpeak + t.GrowBytes
+	}
+	if !immortal {
+		return fmt.Errorf("scenario: every tenant exits; at least one must run to the end")
 	}
 	if peak > MaxTotalBytes {
 		return fmt.Errorf("scenario: peak resident estimate %d exceeds %d", peak, MaxTotalBytes)

@@ -98,6 +98,96 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// tenantSpec returns a minimal valid multi-tenant spec.
+func tenantSpec() Spec {
+	mk := func() []Phase {
+		return []Phase{
+			{Grow: []Region{{Name: "a", Bytes: 4 << 20}},
+				Mix: []MixEntry{{Region: "a", Dist: "uniform"}}},
+		}
+	}
+	return Spec{
+		Name: "multi",
+		Tenants: []TenantSpec{
+			{Name: "x", Phases: mk()},
+			{Name: "y", Weight: 3, FloorBytes: 2 << 20, Phases: mk(),
+				SpawnFrac: 0.2, ExitFrac: 0.8},
+		},
+	}
+}
+
+func TestValidateTenantsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"phases and tenants", func(s *Spec) {
+			s.Phases = []Phase{{Workload: "silo"}}
+		}, "mutually exclusive"},
+		{"dup tenant names", func(s *Spec) { s.Tenants[1].Name = "x" }, "duplicate name"},
+		{"all exit", func(s *Spec) { s.Tenants[0].ExitFrac = 0.5 }, "run to the end"},
+		{"spawn after exit", func(s *Spec) { s.Tenants[1].SpawnFrac = 0.9 }, "at or after its exit"},
+		{"frac out of range", func(s *Spec) { s.Tenants[1].GrowBytes = 1 << 20; s.Tenants[1].GrowFrac = 1.5 }, "outside [0,1]"},
+		{"shrink without grow", func(s *Spec) { s.Tenants[0].ShrinkFrac = 0.5 }, "without grow bytes"},
+		{"shrink before grow", func(s *Spec) {
+			s.Tenants[0].GrowBytes = 1 << 20
+			s.Tenants[0].GrowFrac = 0.6
+			s.Tenants[0].ShrinkFrac = 0.3
+		}, "at or before its grow"},
+		{"tenant without phases", func(s *Spec) { s.Tenants[0].Phases = nil }, "at least one phase"},
+		{"bad tenant phase", func(s *Spec) { s.Tenants[1].Phases[0].Mix[0].Dist = "pareto" }, "unknown distribution"},
+	}
+	for _, c := range cases {
+		s := tenantSpec()
+		c.mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if err := tenantSpec().Validate(); err != nil {
+		t.Fatalf("base tenant spec invalid: %v", err)
+	}
+}
+
+func TestTenantSpecRoundTrip(t *testing.T) {
+	s := tenantSpec()
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encoding differs:\n%s\nvs\n%s", enc, enc2)
+	}
+}
+
+// TestGenerateCoversTenants pins that the fuzzer actually emits the
+// multi-tenant form at a healthy rate (the 1/3 draw).
+func TestGenerateCoversTenants(t *testing.T) {
+	multi := 0
+	for seed := uint64(0); seed < 200; seed++ {
+		if len(Generate(seed).Tenants) > 0 {
+			multi++
+		}
+	}
+	if multi < 30 || multi > 120 {
+		t.Fatalf("%d of 200 generated specs are multi-tenant; want roughly a third", multi)
+	}
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	s := validSpec()
 	s.Faults = "rate=10000ppm,retries=2"

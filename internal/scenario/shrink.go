@@ -49,6 +49,35 @@ func candidates(s Spec) []Spec {
 		f(&c)
 		out = append(out, c)
 	}
+	// Multi-tenant simplifications first: a single-tenant reproducer
+	// (or better, a plain phase list) beats any phase-level shrink.
+	if len(s.Tenants) == 1 {
+		t := s.Tenants[0]
+		if t.Weight == 0 && t.FloorBytes == 0 && t.SpawnFrac == 0 &&
+			t.ExitFrac == 0 && t.GrowBytes == 0 {
+			add(func(c *Spec) { c.Phases, c.Tenants = c.Tenants[0].Phases, nil })
+		}
+	}
+	for i := len(s.Tenants) - 1; i >= 0; i-- {
+		i := i
+		if len(s.Tenants) > 1 {
+			add(func(c *Spec) { c.Tenants = append(c.Tenants[:i], c.Tenants[i+1:]...) })
+		}
+		t := &s.Tenants[i]
+		if t.SpawnFrac != 0 || t.ExitFrac != 0 || t.GrowBytes != 0 {
+			add(func(c *Spec) {
+				tc := &c.Tenants[i]
+				tc.SpawnFrac, tc.ExitFrac = 0, 0
+				tc.GrowBytes, tc.GrowFrac, tc.ShrinkFrac = 0, 0, 0
+			})
+		}
+		if t.FloorBytes != 0 || t.Weight > 1 {
+			add(func(c *Spec) { c.Tenants[i].FloorBytes, c.Tenants[i].Weight = 0, 0 })
+		}
+		if len(t.Phases) > 1 {
+			add(func(c *Spec) { c.Tenants[i].Phases = c.Tenants[i].Phases[:len(c.Tenants[i].Phases)-1] })
+		}
+	}
 	// Whole phases, last first (later phases depend on earlier churn,
 	// never the reverse).
 	for i := len(s.Phases) - 1; i >= 0; i-- {

@@ -137,6 +137,17 @@ type SeriesPoint struct {
 	ThroughputWin float64 // accesses per virtual second since previous point
 }
 
+// TenantResult is one tenant's share of a multi-tenant run, in space
+// order. Exited tenants keep their row (accesses retained, resident
+// zero) so fairness sweeps can account for churned tenants.
+type TenantResult struct {
+	ID            int
+	Name          string
+	Accesses      uint64
+	ResidentBytes uint64
+	FastBytes     uint64
+}
+
 // Result summarises one workload run.
 type Result struct {
 	Policy       string
@@ -155,6 +166,10 @@ type Result struct {
 	// Counters is the machine registry's snapshot (sorted by name):
 	// policy-reported counters and gauges, namespaced per policy.
 	Counters []obs.Metric
+	// Tenants is per-tenant accounting, nil for single-space runs (the
+	// compatibility path: single-tenant results are byte-identical to
+	// the pre-multi-tenant simulator, pinned by a golden test).
+	Tenants []TenantResult
 }
 
 // Machine is one simulated two-tier host running a single workload
@@ -204,10 +219,33 @@ type Machine struct {
 	rssPeak uint64
 	series  []SeriesPoint
 
+	// Multi-tenant state. A machine starts single-space (spaces nil,
+	// cur == AS, curTag == 0) and becomes multi on the first AddSpace;
+	// the single-space hot path pays one OR with a zero tag and one
+	// predictable branch for the per-space access counter.
+	spaces      []*vm.AddressSpace // spaces[0] == AS when non-nil
+	spaceAcc    []uint64           // per-space access counts
+	spaceLabels []string
+	cur         *vm.AddressSpace
+	curID       uint32
+	curTag      uint64 // curID << SpaceTagShift
+	multi       bool
+
 	// AccessObserver, when set, sees every access (used by the DAMON
-	// and trace-analysis experiments).
+	// and trace-analysis experiments, and by the tenant scheduler to
+	// preempt the running tenant at slice boundaries). The vpn carries
+	// the current space tag, like the vpn fed to the TLB and policy.
 	AccessObserver func(vpn uint64, write bool, now uint64)
 }
+
+// SpaceTagShift positions an address-space index above the VPN bits of
+// the tagged virtual page numbers handed to the TLB and to
+// Policy.OnAccess, so two tenants' identical VPNs never alias in
+// translation caches or policy bookkeeping. 40 bits of VPN cover 4PB
+// of virtual address space per tenant — far beyond MaxTotalBytes-style
+// scenario bounds — and the tag stays zero on single-space machines,
+// keeping their streams bit-identical to the pre-tenant simulator.
+const SpaceTagShift = 40
 
 type defaultPlacer struct{}
 
@@ -230,6 +268,7 @@ func NewMachine(cfg Config, pol Policy) *Machine {
 		Rand: rand.New(rand.NewSource(cfg.Seed + 7)),
 		reg:  obs.NewRegistry(),
 	}
+	m.cur = m.AS
 	if cfg.Trace != nil {
 		cfg.Trace.BindClock(func() uint64 { return m.now })
 		m.AS.Trace = cfg.Trace
@@ -292,8 +331,188 @@ func (m *Machine) Tracer() *obs.Tracer { return m.Cfg.Trace }
 // case, so callers consult it unguarded.
 func (m *Machine) Faults() *tier.FaultPlan { return m.faults }
 
-// Accesses returns the number of accesses issued so far.
-func (m *Machine) Accesses() uint64 { return m.accesses }
+// Accesses returns the number of accesses issued so far — by the
+// current address space on a multi-tenant machine, by the machine as a
+// whole otherwise. Workload budget loops (`for m.Accesses() < target`)
+// thereby become per-tenant budgets automatically when the tenant
+// scheduler switches spaces; TotalAccesses always reads the global
+// count.
+func (m *Machine) Accesses() uint64 {
+	if m.multi {
+		return m.spaceAcc[m.curID]
+	}
+	return m.accesses
+}
+
+// TotalAccesses returns the machine-wide access count regardless of
+// the current space.
+func (m *Machine) TotalAccesses() uint64 { return m.accesses }
+
+// AddSpace creates an additional address space sharing the machine's
+// tiers, fault plan, tracer and policy hooks, and returns its index.
+// The root space (index 0) is m.AS; the first AddSpace flips the
+// machine into multi-tenant mode. Call before or between runs, not
+// mid-access.
+func (m *Machine) AddSpace(label string) int {
+	if m.spaces == nil {
+		m.spaces = []*vm.AddressSpace{m.AS}
+		m.spaceAcc = []uint64{m.accesses}
+		m.spaceLabels = []string{""}
+	}
+	as := vm.NewAddressSpace(m.Fast, m.Cap, m.Cfg.THP)
+	as.Tenant = uint32(len(m.spaces))
+	as.Trace = m.AS.Trace
+	as.Faults = m.AS.Faults
+	as.Clock = m.AS.Clock
+	as.OnUnmap = m.AS.OnUnmap
+	as.MigrateVeto = m.AS.MigrateVeto
+	if m.Pol != nil {
+		as.SetPlacer(policyPlacer{m.Pol})
+	} else {
+		as.SetPlacer(defaultPlacer{})
+	}
+	m.spaces = append(m.spaces, as)
+	m.spaceAcc = append(m.spaceAcc, 0)
+	m.spaceLabels = append(m.spaceLabels, label)
+	for _, s := range m.spaces {
+		s.Owners = m.spaces
+	}
+	m.multi = true
+	return len(m.spaces) - 1
+}
+
+// UseSpace makes space id the target of subsequent accesses,
+// reservations and frees. The tenant scheduler calls it on every
+// context switch; on a single-space machine only id 0 is valid (and a
+// no-op), so a one-tenant schedule needs no special casing.
+func (m *Machine) UseSpace(id int) {
+	if m.spaces == nil {
+		if id != 0 {
+			panic("sim: UseSpace on a single-space machine")
+		}
+		return
+	}
+	m.cur = m.spaces[id]
+	m.curID = uint32(id)
+	m.curTag = uint64(id) << SpaceTagShift
+}
+
+// SetSpaceLabel names a space for per-tenant result rows.
+func (m *Machine) SetSpaceLabel(id int, label string) {
+	if m.spaces == nil && id == 0 {
+		return // single-space: no tenant rows are emitted
+	}
+	m.spaceLabels[id] = label
+}
+
+// NumSpaces returns the number of address spaces the machine hosts.
+func (m *Machine) NumSpaces() int {
+	if m.spaces == nil {
+		return 1
+	}
+	return len(m.spaces)
+}
+
+// Space returns address space id (0 is m.AS).
+func (m *Machine) Space(id int) *vm.AddressSpace {
+	if m.spaces == nil {
+		return m.AS
+	}
+	return m.spaces[id]
+}
+
+// SpaceOf returns the address space owning p. Policies must route
+// page-table operations (Split, Collapse, Lookup by VPN) through the
+// owner; migrations may go through any space handle.
+func (m *Machine) SpaceOf(p *vm.Page) *vm.AddressSpace {
+	if !m.multi {
+		return m.AS
+	}
+	return m.spaces[p.Owner]
+}
+
+// Multi reports whether the machine hosts more than one address space.
+func (m *Machine) Multi() bool { return m.multi }
+
+// CurrentSpace returns the index of the space accesses currently target.
+func (m *Machine) CurrentSpace() int { return int(m.curID) }
+
+// SpaceAccesses returns the access count issued by space id.
+func (m *Machine) SpaceAccesses(id int) uint64 {
+	if m.spaces == nil {
+		return m.accesses
+	}
+	return m.spaceAcc[id]
+}
+
+// RSSBytes returns the machine-wide resident set. Spaces share the
+// two tier objects and an AddressSpace's RSS is their combined used
+// frames, so the root space's figure is already machine-wide on a
+// multi-tenant machine; per-tenant residency is ResidentUnits on the
+// individual spaces.
+func (m *Machine) RSSBytes() uint64 {
+	return m.AS.RSSBytes()
+}
+
+// ForEachPage visits every live page of every space, each space in
+// ascending-VPN order, spaces in index order — deterministic, like the
+// single-space walker it generalises.
+func (m *Machine) ForEachPage(fn func(p *vm.Page)) {
+	if !m.multi {
+		m.AS.ForEachPage(fn)
+		return
+	}
+	for _, s := range m.spaces {
+		s.ForEachPage(fn)
+	}
+}
+
+// ForEachPageFrom is the machine-wide bounded incremental walker:
+// like vm.AddressSpace.ForEachPageFrom but cycling over every space.
+// The cursor packs the space index above SpaceTagShift and the VPN
+// cursor below it, so background sweeps resume exactly where they
+// stopped even across tenant spawns.
+func (m *Machine) ForEachPageFrom(cursor uint64, max int, fn func(p *vm.Page)) uint64 {
+	if !m.multi {
+		return m.AS.ForEachPageFrom(cursor, max, fn)
+	}
+	sid := int(cursor >> SpaceTagShift)
+	vc := cursor & (1<<SpaceTagShift - 1)
+	if sid >= len(m.spaces) {
+		sid, vc = 0, 0
+	}
+	remaining := max
+	// Bound the walk to one full cycle over the spaces so a machine of
+	// empty (exited) tenants terminates without visiting max pages.
+	for hops := 0; hops <= len(m.spaces) && remaining > 0; {
+		visited := 0
+		next, done := m.spaces[sid].ForEachPageSlice(vc, remaining, func(p *vm.Page) {
+			visited++
+			fn(p)
+		})
+		remaining -= visited
+		if !done {
+			vc = next
+			continue
+		}
+		sid++
+		if sid >= len(m.spaces) {
+			sid = 0
+		}
+		vc = 0
+		hops++
+	}
+	return uint64(sid)<<SpaceTagShift | vc
+}
+
+// Audit verifies the frame-accounting invariants across every address
+// space the machine hosts (vm.Audit generalised to shared tiers).
+func (m *Machine) Audit() error {
+	if !m.multi {
+		return m.AS.Audit()
+	}
+	return vm.AuditShared(m.Fast, m.Cap, m.spaces)
+}
 
 // AdvanceBackground lets policies charge additional critical-path time
 // (used by trackers that stall the app outside OnAccess's return path).
@@ -351,8 +570,11 @@ func (m *Machine) deliverRecords() {
 // (fault injection, tick delivery, series sampling, RSS accounting)
 // hidden behind single predictable compares.
 func (m *Machine) Access(vpn uint64, write bool) {
-	tr := m.AS.Touch(vpn, write)
-	cost := m.TLB.Access(vpn, tr.Page.IsHuge()) + tr.FaultNS
+	tr := m.cur.Touch(vpn, write)
+	// The space tag disambiguates tenants in the TLB and in policy
+	// bookkeeping; it is 0 (a free OR) on single-space machines.
+	tvpn := vpn | m.curTag
+	cost := m.TLB.Access(tvpn, tr.Page.IsHuge()) + tr.FaultNS
 	if tr.Tier == tier.FastTier {
 		if write {
 			cost += m.fastStoreNS
@@ -387,14 +609,17 @@ func (m *Machine) Access(vpn uint64, write bool) {
 		}
 	}
 	if m.Pol != nil {
-		cost += m.Pol.OnAccess(tr, vpn, write)
+		cost += m.Pol.OnAccess(tr, tvpn, write)
 	}
 	// advance(cost), spelled out: advance does not inline, and this is
 	// the one call site hot enough for that to matter.
 	m.now += cost
 	m.accesses++
+	if m.multi {
+		m.spaceAcc[m.curID]++
+	}
 	if m.AccessObserver != nil {
-		m.AccessObserver(vpn, write, m.now)
+		m.AccessObserver(tvpn, write, m.now)
 	}
 	if m.now >= m.nextTick {
 		m.deliverTicks()
@@ -406,7 +631,7 @@ func (m *Machine) Access(vpn uint64, write bool) {
 		// RSS grows only by demand faults (migrations are net-zero,
 		// splits and frees shrink it), so the peak needs re-sampling
 		// only here — not on the billions of steady-state accesses.
-		if rss := m.AS.RSSBytes(); rss > m.rssPeak {
+		if rss := m.RSSBytes(); rss > m.rssPeak {
 			m.rssPeak = rss
 		}
 	}
@@ -432,22 +657,23 @@ func (m *Machine) AccessBatch(ops []Op) {
 	}
 }
 
-// Reserve exposes address-space reservation to workloads.
-func (m *Machine) Reserve(bytes uint64) vm.Region { return m.AS.Reserve(bytes) }
+// Reserve exposes address-space reservation to workloads (the current
+// space's, on multi-tenant machines).
+func (m *Machine) Reserve(bytes uint64) vm.Region { return m.cur.Reserve(bytes) }
 
-// FreeRegion unmaps a region (short-lived allocations). The freeing
-// thread pays a small per-page teardown cost; ticks and samples due
-// during a large free are delivered inside it, not deferred to the
-// next access.
+// FreeRegion unmaps a region of the current space (short-lived
+// allocations, tenant exit). The freeing thread pays a small per-page
+// teardown cost; ticks and samples due during a large free are
+// delivered inside it, not deferred to the next access.
 func (m *Machine) FreeRegion(r vm.Region) {
-	m.AS.Free(r)
+	m.cur.Free(r)
 	m.advance(r.Pages * 120) // munmap + page-table teardown per page
 }
 
 func (m *Machine) record() {
 	pt := SeriesPoint{
 		TimeNS:   m.now,
-		RSSBytes: m.AS.RSSBytes(),
+		RSSBytes: m.RSSBytes(),
 		FastUsed: m.Fast.UsedFrames() * tier.BasePageSize,
 	}
 	if hr, ok := m.Pol.(HotSetReporter); ok && m.Pol != nil {
@@ -475,12 +701,22 @@ func (m *Machine) Finish(workload string) Result {
 		daemonNS = m.Pol.BackgroundNS()
 		busy = m.Pol.BusyCores()
 	}
+	vmStats := m.AS.Stats()
+	if m.multi {
+		// Policies migrate through arbitrary space handles, so the VM
+		// counters are spread across the spaces; the result (and the
+		// fault counter folding below) reports their sum.
+		vmStats = vm.Stats{}
+		for _, s := range m.spaces {
+			vmStats.Add(s.Stats())
+		}
+	}
 	if m.faults != nil {
 		// Fold the VM's transaction outcomes into the fault counter
 		// group (Finish runs once; counters stay monotonic).
 		g := m.reg.Group("fault")
-		*g.Counter("migrate_aborts") = m.AS.Stats().MigrateAborts
-		*g.Counter("abort_ns") = m.AS.Stats().AbortNS
+		*g.Counter("migrate_aborts") = vmStats.MigrateAborts
+		*g.Counter("abort_ns") = vmStats.AbortNS
 	}
 	elapsed := m.now
 	if elapsed == 0 {
@@ -512,12 +748,24 @@ func (m *Machine) Finish(workload string) Result {
 		WallNS:       uint64(wall),
 		FastHitRatio: ratio(m.fastHits, m.accesses),
 		DaemonUtil:   util,
-		VM:           m.AS.Stats(),
+		VM:           vmStats,
 		TLB:          m.TLB.Stats(),
 		RSSPeak:      m.rssPeak,
-		RSSFinal:     m.AS.RSSBytes(),
+		RSSFinal:     m.RSSBytes(),
 		Series:       m.series,
 		Counters:     m.reg.Snapshot(),
+	}
+	if m.multi {
+		res.Tenants = make([]TenantResult, len(m.spaces))
+		for i, s := range m.spaces {
+			res.Tenants[i] = TenantResult{
+				ID:            i,
+				Name:          m.spaceLabels[i],
+				Accesses:      m.spaceAcc[i],
+				ResidentBytes: s.ResidentUnits() * tier.BasePageSize,
+				FastBytes:     s.FastUnits() * tier.BasePageSize,
+			}
+		}
 	}
 	if wall > 0 {
 		res.Throughput = float64(m.accesses) / (wall / 1e9)

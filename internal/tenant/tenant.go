@@ -1,0 +1,541 @@
+// Package tenant multiplexes N contending processes onto one simulated
+// machine: each tenant owns a vm.AddressSpace and an independent
+// workload, all sharing the machine's two tiers and its single policy
+// daemon. A deterministic weighted scheduler interleaves the tenants'
+// access streams in fixed-size slices; a lifecycle plan spawns and
+// exits tenants and grows and shrinks their footprints mid-run; and a
+// QoS arbiter below the policy layer enforces per-tenant fast-tier
+// floors and weighted promotion shares (DESIGN.md §10).
+//
+// Determinism is by construction, not by locking: exactly one
+// goroutine — the scheduler or the currently scheduled tenant — is
+// runnable at any instant, with the baton handed over channels, so the
+// interleaving is a pure function of the machine seed and the config.
+// The same seed produces byte-identical event traces sequential or
+// under a parallel matrix, including under the race detector.
+package tenant
+
+import (
+	"fmt"
+	"sort"
+
+	"memtis/internal/obs"
+	"memtis/internal/policy"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+)
+
+// Spec describes one tenant: identity, workload, QoS knobs and its
+// lifecycle-churn plan. Churn points are fractions of the machine's
+// global access budget, so a plan scales with run length.
+type Spec struct {
+	// Name labels the tenant's counters (`tenant/<name>/...`) and
+	// result row. Empty defaults to "t<index>".
+	Name string
+	// Weight is the tenant's share weight: it biases the scheduler's
+	// slice draw and bounds the tenant's fraction of promotions while
+	// the fast tier is contended. Zero means 1.
+	Weight uint64
+	// FloorBytes is the guaranteed fast-tier floor. Demotions (and
+	// collapses into the capacity tier) that would push the tenant's
+	// fast footprint below min(floor, resident) are vetoed. Floors
+	// are clamped proportionally if their sum exceeds what the fast
+	// tier can honour.
+	FloorBytes uint64
+	// Workload drives the tenant's address space. Any sim.Workload
+	// works, including scenario runners; instances may be shared
+	// across tenants (workloads keep per-Run state only).
+	Workload sim.Workload
+	// Admit, when set, is this tenant's admission hook, layered below
+	// the policy's own AdmissionFunc: it is consulted (with
+	// sync=false — the arbiter cannot tell) before floor and share
+	// arbitration, and a false return vetoes the migration.
+	Admit policy.AdmissionFunc
+
+	// SpawnFrac > 0 delays the tenant's first slice until that
+	// fraction of the budget has elapsed; 0 spawns at start.
+	SpawnFrac float64
+	// ExitFrac > 0 kills the tenant at that point and frees its whole
+	// address space; 0 means the tenant runs to the end. At least one
+	// tenant per config must be immortal.
+	ExitFrac float64
+	// GrowBytes > 0 reserves and write-touches an extra region at
+	// GrowFrac (the touches count against the global budget);
+	// ShrinkFrac > 0 frees that region again.
+	GrowBytes  uint64
+	GrowFrac   float64
+	ShrinkFrac float64
+}
+
+// ChurnKind classifies one lifecycle event.
+type ChurnKind uint8
+
+// Churn event kinds, in intra-threshold application order.
+const (
+	ChurnSpawn ChurnKind = iota
+	ChurnGrow
+	ChurnShrink
+	ChurnExit
+)
+
+// String names the kind.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnSpawn:
+		return "spawn"
+	case ChurnGrow:
+		return "grow"
+	case ChurnShrink:
+		return "shrink"
+	case ChurnExit:
+		return "exit"
+	}
+	return "unknown"
+}
+
+// Bounds and defaults.
+const (
+	// MaxTenants bounds a config (the conformance sweep's largest
+	// point is 1024; the bound leaves headroom without letting a
+	// fuzzer allocate unbounded spaces).
+	MaxTenants = 4096
+	// DefaultSlice is the scheduler quantum in accesses — roughly
+	// half a millisecond of simulated time at typical access costs,
+	// comparable to an OS scheduler's minimum granularity. Smaller
+	// quanta interleave tenants more finely but cold-start the
+	// (simulated) TLB and the host caches on every switch; 8k keeps
+	// the 64-tenant per-access cost within ~1.1x of single-tenant.
+	DefaultSlice = 8192
+	maxWeight    = 1_000_000
+	// shareSlackUnits is the arbiter's burst allowance above a
+	// tenant's exact proportional share of contended promotions: a
+	// few huge pages' worth, so coarse-grained (2MB) promotions don't
+	// deadlock the share accounting at low totals.
+	shareSlackUnits = 2 * tier.SubPages
+)
+
+// Config is a multi-tenant run plan.
+type Config struct {
+	Tenants []Spec
+	// Slice is the scheduler quantum in accesses (default
+	// DefaultSlice). Large tenant counts want a smaller slice so
+	// every tenant runs within a bounded budget.
+	Slice uint64
+	// OnChurn, when set, runs after every applied churn event —
+	// the churn property test audits the machine here.
+	OnChurn func(kind ChurnKind, tenant int)
+}
+
+// Validate checks the config bounds.
+func (c *Config) Validate() error {
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("tenant: no tenants")
+	}
+	if len(c.Tenants) > MaxTenants {
+		return fmt.Errorf("tenant: %d tenants exceeds the %d bound", len(c.Tenants), MaxTenants)
+	}
+	immortal := false
+	seen := make(map[string]bool, len(c.Tenants))
+	for i := range c.Tenants {
+		t := &c.Tenants[i]
+		if t.Workload == nil {
+			return fmt.Errorf("tenant %d: nil workload", i)
+		}
+		if t.Weight > maxWeight {
+			return fmt.Errorf("tenant %d: weight %d exceeds the %d bound", i, t.Weight, maxWeight)
+		}
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{{"SpawnFrac", t.SpawnFrac}, {"ExitFrac", t.ExitFrac}, {"GrowFrac", t.GrowFrac}, {"ShrinkFrac", t.ShrinkFrac}} {
+			if f.v < 0 || f.v > 1 {
+				return fmt.Errorf("tenant %d: %s %v outside [0,1]", i, f.name, f.v)
+			}
+		}
+		if t.ExitFrac > 0 && t.SpawnFrac >= t.ExitFrac {
+			return fmt.Errorf("tenant %d: spawns at %v, at or after its exit %v", i, t.SpawnFrac, t.ExitFrac)
+		}
+		if t.GrowBytes > 0 && t.ShrinkFrac > 0 && t.ShrinkFrac <= t.GrowFrac {
+			return fmt.Errorf("tenant %d: shrinks at %v, at or before its grow %v", i, t.ShrinkFrac, t.GrowFrac)
+		}
+		if t.ExitFrac == 0 {
+			immortal = true
+		}
+		name := tenantName(t, i)
+		if seen[name] {
+			return fmt.Errorf("tenant %d: duplicate name %q", i, name)
+		}
+		seen[name] = true
+	}
+	if !immortal {
+		return fmt.Errorf("tenant: every tenant exits; at least one must run to the end")
+	}
+	return nil
+}
+
+func tenantName(t *Spec, i int) string {
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("t%d", i)
+}
+
+// Runner drives a Config as a sim.Workload. It is immutable after New
+// — all per-run state lives in the run struct — so one Runner is safe
+// to share across parallel matrix cells, like scenario runners.
+type Runner struct {
+	cfg Config
+}
+
+// New validates the config and builds a Runner.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Slice == 0 {
+		cfg.Slice = DefaultSlice
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Name implements sim.Workload.
+func (r *Runner) Name() string { return "tenants" }
+
+// Run implements sim.Workload: it interleaves the tenants' workloads
+// on m until exactly `accesses` accesses have been issued machine-wide
+// (every tenant's workload is given the global budget as its nominal
+// target; the scheduler preempts and finally kills them at slice and
+// budget boundaries, so the total always lands exactly). The machine
+// must be fresh: single-space, no other AccessObserver, not previously
+// run.
+func (r *Runner) Run(m *sim.Machine, accesses uint64) {
+	st := newRun(r, m, accesses)
+	defer st.finalize()
+	defer st.killAll()
+	for {
+		st.fireChurn()
+		if m.TotalAccesses() >= st.target {
+			return
+		}
+		p := st.pick()
+		if p == nil {
+			return
+		}
+		st.schedule(p)
+	}
+}
+
+// killedPanic unwinds a tenant goroutine the scheduler terminates
+// (budget exhausted or exit churn); procMain recovers exactly this
+// type and re-raises anything else.
+type killedPanic struct{}
+
+// proc is one tenant's execution state. The resume channel is the
+// scheduling baton: the goroutine blocks on it between slices.
+type proc struct {
+	id       int
+	spec     *Spec
+	resume   chan struct{}
+	done     chan struct{}
+	started  bool
+	finished bool
+	killed   bool
+	live     bool
+}
+
+type churnEvent struct {
+	at     uint64
+	tenant int
+	kind   ChurnKind
+}
+
+// run is the per-Run mutable state: scheduler, churn plan and arbiter.
+type run struct {
+	m      *sim.Machine
+	cfg    *Config
+	target uint64
+	slice  uint64
+
+	procs    []*proc
+	names    []string
+	yield    chan *proc
+	active   *proc
+	sliceEnd uint64
+
+	events []churnEvent
+	nextEv int
+	grown  []vm.Region
+
+	arb *arbiter
+
+	rng uint64
+}
+
+func newRun(r *Runner, m *sim.Machine, accesses uint64) *run {
+	n := len(r.cfg.Tenants)
+	st := &run{
+		m:      m,
+		cfg:    &r.cfg,
+		target: accesses,
+		slice:  r.cfg.Slice,
+		procs:  make([]*proc, n),
+		names:  make([]string, n),
+		yield:  make(chan *proc),
+		grown:  make([]vm.Region, n),
+		rng:    uint64(m.Cfg.Seed) ^ 0x74_65_6e_61_6e_74, // "tenant"
+	}
+	for i := range r.cfg.Tenants {
+		st.names[i] = tenantName(&r.cfg.Tenants[i], i)
+	}
+	st.arb = newArbiter(st)
+	// Install the hooks on the root space first: AddSpace copies them
+	// onto every additional space.
+	m.AS.MigrateVeto = st.arb.veto
+	m.AccessObserver = st.observe
+	// Tenant i owns space i; tenant 0 keeps the root space, so a
+	// one-tenant run stays on the single-space fast path.
+	for i := 1; i < n; i++ {
+		if id := m.AddSpace(st.names[i]); id != i {
+			panic("tenant: machine not fresh (spaces already added)")
+		}
+	}
+	if n > 1 {
+		m.SetSpaceLabel(0, st.names[0])
+	}
+	for i := range r.cfg.Tenants {
+		t := &r.cfg.Tenants[i]
+		p := &proc{
+			id:     i,
+			spec:   t,
+			resume: make(chan struct{}),
+			done:   make(chan struct{}),
+		}
+		st.procs[i] = p
+		if t.SpawnFrac <= 0 {
+			p.live = true
+			st.arb.addLive(i)
+			m.Tracer().Emit(obs.EvTenantSpawn, uint64(i), false, 0, 0)
+		} else {
+			st.events = append(st.events, churnEvent{st.frac(t.SpawnFrac), i, ChurnSpawn})
+		}
+		if t.GrowBytes > 0 {
+			st.events = append(st.events, churnEvent{st.frac(t.GrowFrac), i, ChurnGrow})
+			if t.ShrinkFrac > 0 {
+				st.events = append(st.events, churnEvent{st.frac(t.ShrinkFrac), i, ChurnShrink})
+			}
+		}
+		if t.ExitFrac > 0 {
+			st.events = append(st.events, churnEvent{st.frac(t.ExitFrac), i, ChurnExit})
+		}
+	}
+	sort.SliceStable(st.events, func(a, b int) bool {
+		ea, eb := st.events[a], st.events[b]
+		if ea.at != eb.at {
+			return ea.at < eb.at
+		}
+		if ea.kind != eb.kind {
+			return ea.kind < eb.kind
+		}
+		return ea.tenant < eb.tenant
+	})
+	return st
+}
+
+func (st *run) frac(f float64) uint64 { return uint64(f * float64(st.target)) }
+
+// rand is a SplitMix64 step — the scheduler's only randomness, fully
+// determined by the machine seed.
+func (st *run) rand() uint64 {
+	st.rng += 0x9e3779b97f4a7c15
+	z := st.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// fireChurn applies every lifecycle event whose threshold has passed.
+func (st *run) fireChurn() {
+	for st.nextEv < len(st.events) && st.events[st.nextEv].at <= st.m.TotalAccesses() {
+		ev := st.events[st.nextEv]
+		st.nextEv++
+		st.apply(ev)
+	}
+}
+
+func (st *run) apply(ev churnEvent) {
+	p := st.procs[ev.tenant]
+	switch ev.kind {
+	case ChurnSpawn:
+		p.live = true
+		st.arb.addLive(ev.tenant)
+		st.m.Tracer().Emit(obs.EvTenantSpawn, uint64(ev.tenant), false, 0, 0)
+	case ChurnExit:
+		st.exit(p)
+	case ChurnGrow:
+		st.grow(p)
+	case ChurnShrink:
+		st.shrink(p)
+	}
+	st.arb.checkFloors()
+	if st.cfg.OnChurn != nil {
+		st.cfg.OnChurn(ev.kind, ev.tenant)
+	}
+}
+
+// exit kills the tenant's goroutine (it is parked or unstarted — the
+// scheduler holds the baton) and frees its entire address space.
+func (st *run) exit(p *proc) {
+	if !p.live {
+		return
+	}
+	st.kill(p)
+	p.live = false
+	st.arb.removeLive(p.id)
+	as := st.m.Space(p.id)
+	released := as.ResidentUnits() * tier.BasePageSize
+	st.m.UseSpace(p.id)
+	st.m.FreeRegion(vm.Region{BaseVPN: 0, Pages: as.ReservedPages()})
+	st.m.Tracer().Emit(obs.EvTenantExit, uint64(p.id), false, released, 0)
+}
+
+// grow reserves the tenant's churn region and write-touches it
+// (scheduler-issued accesses: the observer sees no active proc, so
+// they never park; they do count against the global budget).
+func (st *run) grow(p *proc) {
+	if !p.live || p.spec.GrowBytes == 0 {
+		return
+	}
+	st.m.UseSpace(p.id)
+	reg := st.m.Reserve(p.spec.GrowBytes)
+	st.grown[p.id] = reg
+	for vpn := reg.BaseVPN; vpn < reg.BaseVPN+reg.Pages && st.m.TotalAccesses() < st.target; vpn++ {
+		st.m.Access(vpn, true)
+	}
+}
+
+func (st *run) shrink(p *proc) {
+	if !p.live || st.grown[p.id].Pages == 0 {
+		return
+	}
+	st.m.UseSpace(p.id)
+	st.m.FreeRegion(st.grown[p.id])
+	st.grown[p.id] = vm.Region{}
+}
+
+// pick draws the next tenant to run, weighted by share weight among
+// live, unfinished tenants; nil when none are runnable.
+func (st *run) pick() *proc {
+	var total uint64
+	for i, p := range st.procs {
+		if p.live && !p.finished {
+			total += st.arb.weight(i)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	x := st.rand() % total
+	for i, p := range st.procs {
+		if p.live && !p.finished {
+			w := st.arb.weight(i)
+			if x < w {
+				return p
+			}
+			x -= w
+		}
+	}
+	return nil
+}
+
+// schedule hands the baton to p for one slice, bounded by the next
+// churn threshold and the global budget, and takes it back when p
+// parks (observe) or its workload returns.
+func (st *run) schedule(p *proc) {
+	now := st.m.TotalAccesses()
+	end := now + st.slice
+	if st.nextEv < len(st.events) && st.events[st.nextEv].at < end {
+		end = st.events[st.nextEv].at
+	}
+	if st.target < end {
+		end = st.target
+	}
+	st.sliceEnd = end
+	st.m.UseSpace(p.id)
+	st.m.Tracer().Emit(obs.EvTenantSwitch, uint64(p.id), false, 0, end-now)
+	st.active = p
+	if !p.started {
+		p.started = true
+		go st.procMain(p)
+	}
+	p.resume <- struct{}{}
+	select {
+	case <-st.yield:
+	case <-p.done:
+		p.finished = true
+	}
+	st.active = nil
+	st.arb.checkFloor(p.id)
+}
+
+// observe is the machine's AccessObserver: it preempts the active
+// tenant once its slice is used up. It runs on the tenant's goroutine;
+// the yield send blocks until the scheduler takes the baton back, and
+// the resume receive blocks until the tenant is scheduled again.
+func (st *run) observe(vpn uint64, write bool, now uint64) {
+	p := st.active
+	if p == nil || st.m.TotalAccesses() < st.sliceEnd {
+		return
+	}
+	st.yield <- p
+	<-p.resume
+	if p.killed {
+		panic(killedPanic{})
+	}
+}
+
+// procMain is one tenant's goroutine: wait for the first slice, run
+// the workload against the (already switched) machine, and swallow
+// only the scheduler's kill panic.
+func (st *run) procMain(p *proc) {
+	defer close(p.done)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedPanic); !ok {
+				panic(r)
+			}
+		}
+	}()
+	<-p.resume
+	if p.killed {
+		return
+	}
+	p.spec.Workload.Run(st.m, st.target)
+}
+
+// kill terminates p's goroutine if it is running (parked — the
+// scheduler holds the baton whenever kill runs).
+func (st *run) kill(p *proc) {
+	if p.started && !p.finished {
+		p.killed = true
+		p.resume <- struct{}{}
+		<-p.done
+	}
+	p.finished = true
+}
+
+func (st *run) killAll() {
+	for _, p := range st.procs {
+		st.kill(p)
+	}
+}
+
+// finalize publishes the end-of-run per-tenant gauges and detaches the
+// scheduler from the machine.
+func (st *run) finalize() {
+	st.arb.finalize()
+	st.m.AccessObserver = nil
+	st.active = nil
+}

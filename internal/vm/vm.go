@@ -90,6 +90,12 @@ type Page struct {
 	PIdx       uint32
 	PFlags     uint32
 
+	// Owner is the machine-wide index of the address space that mapped
+	// the page (0 on single-space machines). Policies tracking pages
+	// from several tenants key their per-block state by Owner so two
+	// tenants' identical VPNs never alias (DESIGN.md §10).
+	Owner uint32
+
 	dead bool
 }
 
@@ -166,6 +172,25 @@ type Stats struct {
 	ReclaimedFrames uint64 // zero subpages freed by splits
 }
 
+// Add accumulates o into s. Multi-tenant machines aggregate their
+// per-space stats with it (policies migrate pages through whichever
+// space handle they hold, so counters spread across spaces).
+func (s *Stats) Add(o Stats) {
+	s.Faults += o.Faults
+	s.FaultNS += o.FaultNS
+	s.Migrations4K += o.Migrations4K
+	s.MigrationsHuge += o.MigrationsHuge
+	s.MigratedBytes += o.MigratedBytes
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
+	s.MigrateAborts += o.MigrateAborts
+	s.AbortNS += o.AbortNS
+	s.Splits += o.Splits
+	s.Collapses += o.Collapses
+	s.Shootdowns += o.Shootdowns
+	s.ReclaimedFrames += o.ReclaimedFrames
+}
+
 // AddressSpace is one process's virtual memory image over a two-tier
 // machine. Virtual addresses are dense base-page numbers handed out by
 // a bump allocator; the page table is a flat slice for O(1) translation.
@@ -202,6 +227,42 @@ type AddressSpace struct {
 	// throttle windows are functions of it. Nil reads as zero.
 	Clock func() uint64
 
+	// Tenant is this space's machine-wide index; pages mapped here
+	// carry it in Page.Owner. Zero for single-space machines.
+	Tenant uint32
+
+	// Owners, when non-nil, maps a Page.Owner index to its address
+	// space. Policies migrate pages of any space through whichever
+	// space handle they hold (MigrateTx never reads the page table),
+	// so per-space unit accounting must follow the page's owner, not
+	// the receiver. The machine installs the same slice on every space
+	// it hosts; nil (the single-space default) routes to the receiver.
+	Owners []*AddressSpace
+
+	// MigrateVeto, when set, may deny a tier-changing operation before
+	// any frame is reserved or cost charged. It receives a page of the
+	// affected range (for owner identity), the destination tier, and
+	// the number of 4KB units that would change tier. A false return
+	// turns MigrateTx into MigrateDenied and makes Collapse fail
+	// without side effects. This is the QoS arbitration hook: floors
+	// and weighted shares (DESIGN.md §10) are enforced here, below
+	// every policy, so no promotion or demotion path can bypass them.
+	MigrateVeto func(p *Page, dst tier.ID, units uint64) bool
+
+	// residentUnits / fastUnits track this space's mapped 4KB units
+	// (total, and the subset on the fast tier) incrementally, so
+	// per-tenant gauges and floor arbitration are O(1) reads even
+	// when many spaces share the tiers.
+	residentUnits uint64
+	fastUnits     uint64
+	// fastFreed counts fast-tier units this space released through
+	// non-migration paths — Free and split bloat reclaim. Demotions
+	// below a tenant's floor are vetoed, so these are the only
+	// legitimate ways a warmed tenant's fast footprint can shrink
+	// below its floor; the QoS arbiter credits them when checking for
+	// floor violations.
+	fastFreed uint64
+
 	stats Stats
 }
 
@@ -215,6 +276,30 @@ func (as *AddressSpace) SetPlacer(p Placer) { as.placer = p }
 
 // Stats returns a snapshot of the VM counters.
 func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// ResidentUnits returns the space's mapped 4KB units.
+func (as *AddressSpace) ResidentUnits() uint64 { return as.residentUnits }
+
+// FastUnits returns the space's mapped 4KB units on the fast tier.
+func (as *AddressSpace) FastUnits() uint64 { return as.fastUnits }
+
+// FastFreedUnits returns the cumulative fast-tier units released by
+// Free and split reclaim (never by migration).
+func (as *AddressSpace) FastFreedUnits() uint64 { return as.fastFreed }
+
+// ReservedPages returns the bump allocator's high-water mark in base
+// pages; Region{0, ReservedPages()} covers every possible mapping of
+// the space (tenant exit frees exactly that region).
+func (as *AddressSpace) ReservedPages() uint64 { return as.nextVPN }
+
+// ownerOf resolves the space whose resident/fast unit counters a
+// mutation of p must adjust.
+func (as *AddressSpace) ownerOf(p *Page) *AddressSpace {
+	if as.Owners == nil {
+		return as
+	}
+	return as.Owners[p.Owner]
+}
 
 // Region is a reserved virtual address range.
 type Region struct {
@@ -388,11 +473,15 @@ func (as *AddressSpace) mapHuge(baseVPN uint64) *Page {
 			return as.mapBase(baseVPN)
 		}
 	}
-	pg := &Page{VPN: baseVPN, Kind: HugePage, Tier: id, Frame: f}
+	pg := &Page{VPN: baseVPN, Kind: HugePage, Tier: id, Frame: f, Owner: as.Tenant}
 	for i := uint64(0); i < tier.SubPages; i++ {
 		as.table[baseVPN+i] = pg
 	}
 	as.nPages++
+	as.residentUnits += tier.SubPages
+	if id == tier.FastTier {
+		as.fastUnits += tier.SubPages
+	}
 	return pg
 }
 
@@ -411,9 +500,13 @@ func (as *AddressSpace) mapBase(vpn uint64) *Page {
 		}
 		id = other
 	}
-	pg := &Page{VPN: vpn, Kind: BasePage, Tier: id, Frame: f}
+	pg := &Page{VPN: vpn, Kind: BasePage, Tier: id, Frame: f, Owner: as.Tenant}
 	as.table[vpn] = pg
 	as.nPages++
+	as.residentUnits++
+	if id == tier.FastTier {
+		as.fastUnits++
+	}
 	return pg
 }
 
@@ -445,6 +538,11 @@ const (
 	// source mapping, and the returned ns is the wasted copy cost.
 	// Transient — the caller may retry within the plan's retry bound.
 	MigrateAborted
+	// MigrateDenied: the space's MigrateVeto (QoS arbitration) refused
+	// the move before anything was reserved or charged. Like no-space
+	// this is an admission outcome, not a fault: retrying immediately
+	// is pointless, the arbiter's state must change first.
+	MigrateDenied
 )
 
 // String names the status for diagnostics.
@@ -456,6 +554,8 @@ func (s MigrateStatus) String() string {
 		return "no-space"
 	case MigrateAborted:
 		return "aborted"
+	case MigrateDenied:
+		return "denied"
 	default:
 		return "unknown"
 	}
@@ -477,6 +577,9 @@ func (s MigrateStatus) String() string {
 func (as *AddressSpace) MigrateTx(p *Page, dst tier.ID) (ns uint64, st MigrateStatus) {
 	if p.dead || p.Tier == dst {
 		return 0, MigrateNoSpace
+	}
+	if as.MigrateVeto != nil && !as.MigrateVeto(p, dst, p.Units()) {
+		return 0, MigrateDenied
 	}
 	src := as.tierOf(p.Tier)
 	dt := as.tierOf(dst)
@@ -528,11 +631,14 @@ func (as *AddressSpace) MigrateTx(p *Page, dst tier.ID) (ns uint64, st MigrateSt
 	}
 	p.Frame = nf
 	ns = copyNS + ShootdownNS
+	ow := as.ownerOf(p)
 	if dst == tier.FastTier {
 		as.stats.Promotions += p.Units()
+		ow.fastUnits += p.Units()
 		as.Trace.Emit(obs.EvPromotion, p.VPN, p.IsHuge(), p.Bytes(), ns)
 	} else {
 		as.stats.Demotions += p.Units()
+		ow.fastUnits -= p.Units()
 		as.Trace.Emit(obs.EvDemotion, p.VPN, p.IsHuge(), p.Bytes(), ns)
 	}
 	as.stats.Shootdowns++
@@ -582,6 +688,11 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 			src.FreeBase(p.Frame + tier.Frame(j))
 			as.table[vpn] = nil
 			as.stats.ReclaimedFrames++
+			as.residentUnits--
+			if p.Tier == tier.FastTier {
+				as.fastUnits--
+				as.fastFreed++
+			}
 			ns += ReclaimBaseNS
 			continue
 		}
@@ -589,7 +700,7 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 		if p.SubCount != nil {
 			cnt = uint64(p.SubCount[j])
 		}
-		np := &Page{VPN: vpn, Kind: BasePage, Tier: p.Tier, Frame: p.Frame + tier.Frame(j), Count: cnt}
+		np := &Page{VPN: vpn, Kind: BasePage, Tier: p.Tier, Frame: p.Frame + tier.Frame(j), Count: cnt, Owner: p.Owner}
 		np.markTouched(0)
 		as.table[vpn] = np
 		as.nPages++
@@ -616,19 +727,40 @@ func (as *AddressSpace) Collapse(baseVPN uint64, dst tier.ID) (hp *Page, ns uint
 		return nil, 0, false
 	}
 	var olds [tier.SubPages]*Page
+	var fastOlds uint64
 	for j := 0; j < tier.SubPages; j++ {
 		pg := as.Lookup(baseVPN + uint64(j))
 		if pg == nil || pg.IsHuge() {
 			return nil, 0, false
 		}
+		if pg.Tier == tier.FastTier {
+			fastOlds++
+		}
 		olds[j] = pg
+	}
+	// A collapse changes the tier of every subpage not already on dst,
+	// so it must pass the same QoS arbitration as an explicit
+	// migration of the net unit delta (a collapse into the capacity
+	// tier is a demotion of fastOlds units and must not dodge a
+	// tenant's fast-tier floor).
+	if as.MigrateVeto != nil {
+		switch {
+		case dst == tier.FastTier && fastOlds < tier.SubPages:
+			if !as.MigrateVeto(olds[0], dst, tier.SubPages-fastOlds) {
+				return nil, 0, false
+			}
+		case dst != tier.FastTier && fastOlds > 0:
+			if !as.MigrateVeto(olds[0], dst, fastOlds) {
+				return nil, 0, false
+			}
+		}
 	}
 	t := as.tierOf(dst)
 	nf, err := t.AllocHuge()
 	if err != nil {
 		return nil, 0, false
 	}
-	hp = &Page{VPN: baseVPN, Kind: HugePage, Tier: dst, Frame: nf}
+	hp = &Page{VPN: baseVPN, Kind: HugePage, Tier: dst, Frame: nf, Owner: olds[0].Owner}
 	hp.SubCount = make([]uint32, tier.SubPages)
 	for j := 0; j < tier.SubPages; j++ {
 		old := olds[j]
@@ -641,6 +773,10 @@ func (as *AddressSpace) Collapse(baseVPN uint64, dst tier.ID) (hp *Page, ns uint
 		as.nPages--
 	}
 	as.nPages++
+	as.fastUnits -= fastOlds
+	if dst == tier.FastTier {
+		as.fastUnits += tier.SubPages
+	}
 	as.stats.Collapses++
 	as.stats.Shootdowns++
 	as.Trace.Emit(obs.EvCollapse, baseVPN, true, hp.Bytes(), 0)
@@ -670,6 +806,11 @@ func (as *AddressSpace) Free(r Region) {
 		} else {
 			t.FreeBase(pg.Frame)
 			as.table[vpn] = nil
+		}
+		as.residentUnits -= pg.Units()
+		if pg.Tier == tier.FastTier {
+			as.fastUnits -= pg.Units()
+			as.fastFreed += pg.Units()
 		}
 		pg.dead = true
 		as.nPages--
@@ -757,6 +898,32 @@ func (as *AddressSpace) ForEachPageFrom(cursor uint64, max int, fn func(p *Page)
 	return cursor
 }
 
+// ForEachPageSlice visits up to max live pages in ascending-VPN order
+// starting at cursor, without wrapping: it returns the cursor to
+// resume from and done=true once the end of the table is reached.
+// Machine-level walkers compose it across several address spaces into
+// one wrapping cursor (a space index in the high bits, this VPN cursor
+// in the low bits) so a background sweep covers every tenant's pages
+// exactly once per cycle. Same callback contract as ForEachPageFrom.
+func (as *AddressSpace) ForEachPageSlice(cursor uint64, max int, fn func(p *Page)) (next uint64, done bool) {
+	n := uint64(len(as.table))
+	if cursor >= n || max <= 0 {
+		return 0, true
+	}
+	visited := 0
+	for cursor < n && visited < max {
+		pg := as.table[cursor]
+		step := uint64(1)
+		if pg != nil && !pg.dead {
+			fn(pg)
+			visited++
+			step = pg.VPN + pg.Units() - cursor
+		}
+		cursor += step
+	}
+	return cursor, cursor >= n
+}
+
 // EnsureSubCount lazily allocates the per-subpage counters of a huge
 // page (done on first PEBS sample touching it).
 func (p *Page) EnsureSubCount() {
@@ -780,19 +947,44 @@ func (p *Page) EnsureSubCount() {
 // production path.
 func (as *AddressSpace) Audit() error {
 	owner := make(map[tier.PhysAddr]uint64)
+	fastUnits, capUnits, err := as.auditMapped(owner)
+	if err != nil {
+		return err
+	}
+	if got := as.Fast.UsedFrames(); got != fastUnits {
+		return fmt.Errorf("vm: fast tier has %d frames allocated but %d mapped (lost or leaked)",
+			got, fastUnits)
+	}
+	if got := as.Cap.UsedFrames(); got != capUnits {
+		return fmt.Errorf("vm: capacity tier has %d frames allocated but %d mapped (lost or leaked)",
+			got, capUnits)
+	}
+	return nil
+}
+
+// auditMapped walks one space's page table, checking the per-space
+// invariants (no dead or out-of-range mappings, every page owned by
+// this space, no frame double-mapped — including against frames the
+// shared owner map already holds from sibling spaces — and the
+// incremental resident/fast unit counters exact) and returns the
+// mapped units per tier.
+func (as *AddressSpace) auditMapped(owner map[tier.PhysAddr]uint64) (fastUnits, capUnits uint64, err error) {
 	mapped := make(map[*Page]uint64)
-	var fastUnits, capUnits uint64
 	for vpn, pg := range as.table {
 		if pg == nil {
 			continue
 		}
 		if pg.dead {
-			return fmt.Errorf("vm: dead page %d still mapped at vpn %d", pg.VPN, vpn)
+			return 0, 0, fmt.Errorf("vm: dead page %d still mapped at vpn %d", pg.VPN, vpn)
 		}
 		off := uint64(vpn) - pg.VPN
 		if off >= pg.Units() {
-			return fmt.Errorf("vm: page %d (units %d) mapped out of range at vpn %d",
+			return 0, 0, fmt.Errorf("vm: page %d (units %d) mapped out of range at vpn %d",
 				pg.VPN, pg.Units(), vpn)
+		}
+		if pg.Owner != as.Tenant {
+			return 0, 0, fmt.Errorf("vm: page %d owned by space %d but mapped in space %d",
+				pg.VPN, pg.Owner, as.Tenant)
 		}
 		if mapped[pg] == 0 {
 			// First sighting: account frames and check uniqueness.
@@ -802,12 +994,12 @@ func (as *AddressSpace) Audit() error {
 			case tier.CapacityTier:
 				capUnits += pg.Units()
 			default:
-				return fmt.Errorf("vm: page %d on tier %v", pg.VPN, pg.Tier)
+				return 0, 0, fmt.Errorf("vm: page %d on tier %v", pg.VPN, pg.Tier)
 			}
 			for u := uint64(0); u < pg.Units(); u++ {
 				pa := tier.PhysAddr{Tier: pg.Tier, Frame: pg.Frame + tier.Frame(u)}
 				if prev, dup := owner[pa]; dup {
-					return fmt.Errorf("vm: frame %v double-mapped by pages %d and %d",
+					return 0, 0, fmt.Errorf("vm: frame %v double-mapped by pages %d and %d",
 						pa, prev, pg.VPN)
 				}
 				owner[pa] = pg.VPN
@@ -817,16 +1009,44 @@ func (as *AddressSpace) Audit() error {
 	}
 	for pg, n := range mapped {
 		if n != pg.Units() {
-			return fmt.Errorf("vm: page %d maps %d of its %d slots", pg.VPN, n, pg.Units())
+			return 0, 0, fmt.Errorf("vm: page %d maps %d of its %d slots", pg.VPN, n, pg.Units())
 		}
 	}
-	if got := as.Fast.UsedFrames(); got != fastUnits {
-		return fmt.Errorf("vm: fast tier has %d frames allocated but %d mapped (lost or leaked)",
-			got, fastUnits)
+	if got := fastUnits + capUnits; got != as.residentUnits {
+		return 0, 0, fmt.Errorf("vm: space %d counts %d resident units but %d are mapped",
+			as.Tenant, as.residentUnits, got)
 	}
-	if got := as.Cap.UsedFrames(); got != capUnits {
-		return fmt.Errorf("vm: capacity tier has %d frames allocated but %d mapped (lost or leaked)",
-			got, capUnits)
+	if fastUnits != as.fastUnits {
+		return 0, 0, fmt.Errorf("vm: space %d counts %d fast units but %d are mapped fast",
+			as.Tenant, as.fastUnits, fastUnits)
+	}
+	return fastUnits, capUnits, nil
+}
+
+// AuditShared verifies the frame-accounting invariants of several
+// address spaces sharing one tier pair: each space individually clean,
+// no frame mapped by two spaces, and the tiers' allocated-frame counts
+// equal to the sum of all spaces' live mappings. This is the
+// multi-tenant Audit — per-space Audit cannot compare against the
+// shared tier counters.
+func AuditShared(fast, cap *tier.Tier, spaces []*AddressSpace) error {
+	owner := make(map[tier.PhysAddr]uint64)
+	var fastUnits, capUnits uint64
+	for _, as := range spaces {
+		f, c, err := as.auditMapped(owner)
+		if err != nil {
+			return fmt.Errorf("space %d: %w", as.Tenant, err)
+		}
+		fastUnits += f
+		capUnits += c
+	}
+	if got := fast.UsedFrames(); got != fastUnits {
+		return fmt.Errorf("vm: fast tier has %d frames allocated but %d mapped across %d spaces",
+			got, fastUnits, len(spaces))
+	}
+	if got := cap.UsedFrames(); got != capUnits {
+		return fmt.Errorf("vm: capacity tier has %d frames allocated but %d mapped across %d spaces",
+			got, capUnits, len(spaces))
 	}
 	return nil
 }
