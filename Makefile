@@ -26,10 +26,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Documentation floor: every package must carry a package doc comment
-# (see cmd/doclint). Fails check when a package lands undocumented.
+# Documentation floor: every package must carry a package doc comment,
+# every exported type/function/method under internal/ its own doc
+# comment, and every relative link or anchor in the markdown docs must
+# resolve (see cmd/doclint). Fails check when either floor is broken.
 docs:
 	$(GO) run ./cmd/doclint ./internal ./cmd ./examples
+	$(GO) run ./cmd/doclint -md README.md DESIGN.md EXPERIMENTS.md docs
 
 # Race smoke: the parallel-runner determinism regression, the
 # per-machine shared-state audit, the codec/dist suites, and the
@@ -49,7 +52,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzDecoder -fuzztime=$(FUZZTIME) ./internal/obs
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=$(FUZZTIME) ./internal/obs
-	$(GO) test -fuzz=FuzzFaultSpec -fuzztime=$(FUZZTIME) ./internal/tier
+	$(GO) test -fuzz='^FuzzFaultSpec$$' -fuzztime=$(FUZZTIME) ./internal/tier
+	$(GO) test -fuzz='^FuzzTopologySpec$$' -fuzztime=$(FUZZTIME) ./internal/tier
 	$(GO) test -fuzz='^FuzzScenarioSpec$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 	$(GO) test -fuzz='^FuzzScenarioConformance$$' -fuzztime=$(FUZZTIME) ./internal/scenario
 

@@ -1,38 +1,54 @@
-// Command doclint enforces the repository's documentation floor: every
-// Go package under the given roots must carry a package-level doc
-// comment ("// Package foo ..." or "// Command foo ..." immediately
-// above the package clause) in at least one non-test file. It is wired
-// into `make check` via the docs target, so an undocumented package
-// fails CI.
+// Command doclint enforces the repository's documentation floor. In
+// its default (Go) mode every package under the given roots must carry
+// a package-level doc comment ("// Package foo ..." or "// Command foo
+// ..." immediately above the package clause) in at least one non-test
+// file, and — for roots under internal/ — every exported type,
+// function and method must carry its own doc comment. With -md it
+// instead lints markdown documentation: every relative link must
+// resolve to an existing file and every #fragment must match a heading
+// anchor (GitHub slug rules) in the target document. Both modes are
+// wired into `make check` via the docs target, so an undocumented
+// export or a dead doc link fails CI.
 //
 // Usage:
 //
-//	doclint ./internal ./cmd
+//	doclint ./internal ./cmd ./examples
+//	doclint -md README.md DESIGN.md EXPERIMENTS.md docs
 package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 func main() {
-	roots := os.Args[1:]
-	if len(roots) == 0 {
-		roots = []string{"./internal", "./cmd"}
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-md" {
+		os.Exit(lintMarkdown(args[1:]))
+	}
+	if len(args) == 0 {
+		args = []string{"./internal", "./cmd"}
 	}
 	exit := 0
-	for _, root := range roots {
+	for _, root := range args {
 		dirs, err := packageDirs(root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doclint:", err)
 			os.Exit(2)
 		}
+		// The exported-declaration floor applies to the library packages
+		// under internal/; command mains and examples only need the
+		// package comment.
+		decls := strings.Contains(filepath.ToSlash(root), "internal")
 		for _, d := range dirs {
 			ok, err := hasPackageDoc(d)
 			if err != nil {
@@ -42,6 +58,17 @@ func main() {
 			if !ok {
 				fmt.Fprintf(os.Stderr, "doclint: %s: no package doc comment in any non-test file\n", d)
 				exit = 1
+			}
+			if decls {
+				missing, err := undocumentedExports(d)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "doclint:", err)
+					os.Exit(2)
+				}
+				for _, m := range missing {
+					fmt.Fprintln(os.Stderr, "doclint:", m)
+					exit = 1
+				}
 			}
 		}
 	}
@@ -98,4 +125,257 @@ func hasPackageDoc(dir string) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// undocumentedExports lists every exported type, function and method in
+// dir's non-test files that lacks a doc comment, as ready-to-print
+// "file:line: ..." messages. Methods count when both the method name
+// and the receiver's base type are exported (a method on an unexported
+// type is not reachable API). Grouped type declarations accept either a
+// group comment or per-spec comments.
+func undocumentedExports(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				kind := "function"
+				if d.Recv != nil {
+					recv := receiverType(d.Recv)
+					if recv == "" || !ast.IsExported(recv) {
+						continue
+					}
+					kind = "method (" + recv + ")"
+				}
+				out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment",
+					fset.Position(d.Pos()), kind, d.Name.Name))
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if d.Doc != nil || ts.Doc != nil || ts.Comment != nil {
+						continue
+					}
+					out = append(out, fmt.Sprintf("%s: exported type %s has no doc comment",
+						fset.Position(ts.Pos()), ts.Name.Name))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// receiverType returns the base type name of a method receiver
+// (stripping pointers and type parameters), or "" if it has no name.
+func receiverType(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// --- markdown mode ---
+
+// mdLink matches inline markdown links and images: [text](target) /
+// ![alt](target). Footnote-style definitions are not used in this
+// repository's docs.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// lintMarkdown checks every markdown file (or directory of them) in
+// args: relative link targets must exist on disk, and #fragments must
+// match a heading anchor of the target document. Absolute URLs
+// (http/https/mailto) are skipped — CI runs offline. Returns the
+// process exit code.
+func lintMarkdown(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "doclint: -md needs markdown files or directories")
+		return 2
+	}
+	var files []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			return 2
+		}
+		if !st.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, e fs.DirEntry, err error) error {
+			if err == nil && !e.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			return 2
+		}
+	}
+	sort.Strings(files)
+
+	exit := 0
+	anchorCache := map[string]map[string]bool{}
+	for _, f := range files {
+		for _, msg := range lintMarkdownFile(f, anchorCache) {
+			fmt.Fprintln(os.Stderr, "doclint:", msg)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// lintMarkdownFile checks one document's links, using (and filling)
+// the per-target anchor cache.
+func lintMarkdownFile(path string, anchors map[string]map[string]bool) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var msgs []string
+	for ln, line := range strippedLines(string(data)) {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(path), file)
+				if _, err := os.Stat(resolved); err != nil {
+					msgs = append(msgs, fmt.Sprintf("%s:%d: broken link %q: %s does not exist", path, ln+1, target, resolved))
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				// Fragments into non-markdown targets (e.g. source files)
+				// are not checkable; the file-exists check above stands.
+				continue
+			}
+			set, err := headingAnchors(resolved, anchors)
+			if err != nil {
+				msgs = append(msgs, err.Error())
+				continue
+			}
+			if !set[strings.ToLower(frag)] {
+				msgs = append(msgs, fmt.Sprintf("%s:%d: broken anchor %q: no heading in %s slugs to #%s", path, ln+1, target, resolved, frag))
+			}
+		}
+	}
+	return msgs
+}
+
+// strippedLines splits a document into lines with fenced code blocks
+// blanked out, so example links inside ``` fences are not linted.
+func strippedLines(doc string) []string {
+	lines := strings.Split(doc, "\n")
+	fenced := false
+	for i, ln := range lines {
+		if strings.HasPrefix(strings.TrimSpace(ln), "```") {
+			fenced = !fenced
+			lines[i] = ""
+			continue
+		}
+		if fenced {
+			lines[i] = ""
+		}
+	}
+	return lines
+}
+
+// headingAnchors returns the set of GitHub-style anchor slugs for a
+// markdown file's headings, memoised in cache.
+func headingAnchors(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if set, ok := cache[path]; ok {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, line := range strippedLines(string(data)) {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed || (text != "" && text[0] != ' ') {
+			continue // not a heading (e.g. "#!/bin/sh" or a bare "#foo")
+		}
+		slug := slugify(strings.TrimSpace(text))
+		// GitHub dedupes repeated headings with -1, -2, ... suffixes.
+		if set[slug] {
+			for i := 1; ; i++ {
+				s := fmt.Sprintf("%s-%d", slug, i)
+				if !set[s] {
+					slug = s
+					break
+				}
+			}
+		}
+		set[slug] = true
+	}
+	cache[path] = set
+	return set, nil
+}
+
+// slugify reduces a heading to its GitHub anchor: lowercase, spaces to
+// hyphens, everything but letters, digits, hyphens and underscores
+// dropped (inline code backticks and punctuation vanish).
+func slugify(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			r >= 'a' && r <= 'z',
+			r >= '0' && r <= '9',
+			r > 127 && (unicode.IsLetter(r) || unicode.IsDigit(r)):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }

@@ -1,5 +1,8 @@
 // Command memtis-sim runs one benchmark under one tiering policy on the
-// simulated two-tier machine and prints the run's metrics. Passing
+// simulated tiered machine — the classic fast/capacity pair by default;
+// -topology or -depth select a deeper chain, -admission installs a
+// migration admission gate and -mover a rate-limited background mover
+// (DESIGN.md §11) — and prints the run's metrics. Passing
 // comma-separated lists (or "all") for -workload, -policy or -ratio
 // switches to matrix mode: every combination fans out to the parallel
 // experiment runner with deterministic per-cell seeds and the
@@ -16,6 +19,9 @@
 //	memtis-sim -workload silo -policy memtis -ratio 1:8 -accesses 2000000
 //	memtis-sim -workload silo -policy memtis -trace-events silo.events.jsonl
 //	memtis-sim -workload silo -policy memtis -faults rate=0.01,throttle=200us/1ms:4x
+//	memtis-sim -workload silo -policy memtis -depth 4 -admission benefit -mover 8m/1ms
+//	memtis-sim -workload silo -policy memtis -topology "dram:256m>cxl:1g>nvm:4g"
+//	memtis-sim -workload silo -policy memtis -topology examples/topologies/cxl-interposed.topology
 //	memtis-sim -workload silo,btree -policy tpp,memtis -ratio 1:2,1:8 -parallel 8
 //	memtis-sim -workload all -policy memtis,hemem -ratio 1:8 -trace-events traces/
 //	memtis-sim -scenario examples/scenarios/churn.json -policy memtis -baseline
@@ -69,6 +75,10 @@ func main() {
 		series   = flag.String("series", "", "write a time-series CSV (hot/warm/cold, RSS, hit ratio) to this path")
 		traceOut = flag.String("trace-events", "", "write a JSONL event trace to this path (matrix mode: a directory, one trace per cell)")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. \"rate=0.01,retries=3,throttle=200us/1ms:4x\" (empty = disabled; see tier.ParseFaultSpec)")
+		topoSpec = flag.String("topology", "", "explicit tier chain: a topology spec like \"dram:256m>cxl:1g>nvm:4g\" or a file holding one (see examples/topologies/); replaces the ratio-derived two-tier machine")
+		depth    = flag.Int("depth", 0, "derive an N-deep hierarchy (2-4) from the workload's RSS and -ratio (single-workload runs only; conflicts with -topology)")
+		admitPol = flag.String("admission", "", "migration admission policy: always, throttle or benefit[:PCT] (empty = per-policy defaults)")
+		mover    = flag.String("mover", "", "background-mover budget as BYTES/WINDOW[:qN], e.g. 8m/1ms:q1024 (empty = inline migration)")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		scenFile = flag.String("scenario", "", "scenario spec file (or comma-separated list: matrix mode); replaces -workload")
 		scenGen  = flag.String("gen-scenario", "", "print the scenario the fuzzer derives from this seed (decimal or 0x hex) and exit")
@@ -125,6 +135,34 @@ func main() {
 		}
 		cfg.Faults = fc
 	}
+	if *topoSpec != "" && *depth != 0 {
+		fmt.Fprintln(os.Stderr, "-topology and -depth conflict: the spec already fixes the hierarchy")
+		os.Exit(2)
+	}
+	if *topoSpec != "" {
+		topo, err := loadTopology(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim: -topology:", err)
+			os.Exit(2)
+		}
+		cfg.Topology = topo
+	}
+	if *admitPol != "" {
+		adm, err := tier.ParseAdmission(*admitPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim: -admission:", err)
+			os.Exit(2)
+		}
+		cfg.Admission = adm
+	}
+	if *mover != "" {
+		mc, err := tier.ParseMoverSpec(*mover)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim: -mover:", err)
+			os.Exit(2)
+		}
+		cfg.Mover = mc
+	}
 
 	if *tenants < 1 {
 		fmt.Fprintf(os.Stderr, "-tenants %d: need at least 1\n", *tenants)
@@ -132,6 +170,10 @@ func main() {
 	}
 
 	if *scenFile != "" {
+		if *depth != 0 {
+			fmt.Fprintln(os.Stderr, "-depth needs a single -workload run to derive tier sizes from; use -topology with -scenario")
+			os.Exit(2)
+		}
 		if *tenants > 1 {
 			fmt.Fprintln(os.Stderr, "-tenants conflicts with -scenario; declare tenants in the spec's \"tenants\" section")
 			os.Exit(2)
@@ -148,6 +190,10 @@ func main() {
 
 	if strings.Contains(*wname, ",") || *wname == "all" ||
 		strings.Contains(*pname, ",") || strings.Contains(*ratio, ",") {
+		if *depth != 0 {
+			fmt.Fprintln(os.Stderr, "-depth needs a single -workload run to derive tier sizes from; use -topology in matrix mode")
+			os.Exit(2)
+		}
 		if *tenants > 1 {
 			fmt.Fprintln(os.Stderr, "-tenants is a single-run flag; use one workload, policy and ratio")
 			os.Exit(2)
@@ -158,6 +204,10 @@ func main() {
 	}
 
 	if *tenants > 1 {
+		if *depth != 0 {
+			fmt.Fprintln(os.Stderr, "-depth needs a single-tenant -workload run to derive tier sizes from; use -topology with -tenants")
+			os.Exit(2)
+		}
 		runTenantsMode(cfg, *wname, *pname, *ratio, *tenants, *tSkew, *tChurn, *tFloor, *traceOut, *baseline)
 		return
 	}
@@ -176,6 +226,15 @@ func main() {
 	if !bench.KnownPolicy(*pname) {
 		fmt.Fprintf(os.Stderr, "unknown policy %q (see -list)\n", *pname)
 		os.Exit(2)
+	}
+
+	if *depth != 0 {
+		topo, err := bench.TopologyForDepth(workload.MustNew(*wname).Spec().RSSBytes(), r, *depth, cfg.CapKind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memtis-sim: -depth:", err)
+			os.Exit(2)
+		}
+		cfg.Topology = topo
 	}
 
 	if *series != "" {
@@ -277,6 +336,25 @@ func printTenants(res sim.Result) {
 	}
 }
 
+// loadTopology resolves the -topology flag: the value is either an
+// inline topology spec or the path of a file holding one (blank lines
+// and #-comment lines ignored, remaining lines joined — the format of
+// examples/topologies/).
+func loadTopology(arg string) (*tier.Topology, error) {
+	spec := arg
+	if data, err := os.ReadFile(arg); err == nil {
+		var lines []string
+		for _, ln := range strings.Split(string(data), "\n") {
+			ln = strings.TrimSpace(ln)
+			if ln != "" && !strings.HasPrefix(ln, "#") {
+				lines = append(lines, ln)
+			}
+		}
+		spec = strings.Join(lines, "")
+	}
+	return tier.ParseTopologySpec(spec)
+}
+
 // setupTrace attaches a JSONL event tracer to cfg when path is
 // non-empty and returns the flush-and-close function (a no-op when no
 // trace was requested). Exits on file errors.
@@ -305,6 +383,15 @@ func setupTrace(cfg *bench.Config, path string) func() error {
 func printResult(res sim.Result, ratioName string, cfg bench.Config, faultsOn bool) {
 	fmt.Printf("policy          %s\n", res.Policy)
 	fmt.Printf("ratio           %s (%s capacity tier)\n", ratioName, cfg.CapKind)
+	if cfg.Topology != nil {
+		fmt.Printf("hierarchy       %d tiers: %s\n", cfg.Topology.Depth(), cfg.Topology)
+	}
+	if cfg.Admission != nil {
+		fmt.Printf("admission       %s\n", cfg.Admission.Name())
+	}
+	if cfg.Mover.Enabled() {
+		fmt.Printf("mover           %s\n", cfg.Mover)
+	}
 	fmt.Printf("accesses        %d\n", res.Accesses)
 	fmt.Printf("virtual time    %.3f ms (wall %.3f ms with daemon contention)\n",
 		float64(res.AppNS)/1e6, float64(res.WallNS)/1e6)

@@ -31,12 +31,13 @@ import (
 	"memtis/internal/render"
 	"memtis/internal/scenario"
 	"memtis/internal/sim"
+	"memtis/internal/tier"
 )
 
 func main() {
 	var (
 		out      = flag.String("out", "results", "output directory")
-		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead,tenantsweep,faultsweep)")
+		only     = flag.String("only", "", "comma-separated subset (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1,table2,table3,overhead,tenantsweep,faultsweep,depthsweep)")
 		accesses = flag.Uint64("accesses", 2_000_000, "access budget per run")
 		seed     = flag.Int64("seed", 42, "RNG seed")
 		parallel = flag.Int("parallel", 0, "worker pool size for matrix experiments (0 = GOMAXPROCS, 1 = sequential)")
@@ -225,6 +226,22 @@ func main() {
 			writeCounters(*out, "tenantsweep", m)
 			title := fmt.Sprintf("tenant sweep: 1:8 throughput vs tenant count/skew/churn (normalised to each policy's single-tenant run, seed %d)", cfg.Seed)
 			return bench.TenantSweepTable(title, m, bench.Ratio1to8, nil, nil), nil
+		}},
+		{"depthsweep", func() (bench.Table, error) {
+			// The tier-depth x admission x fault-rate matrix
+			// (EXPERIMENTS.md "Depth sweep"): every cell runs on the
+			// hierarchy bench.TopologyForDepth derives for its depth with
+			// the background mover on, normalised to the same policy's
+			// (first depth, first admission, fault-free) reference cell.
+			dcfg := cfg
+			dcfg.Mover = tier.MoverConfig{BytesPerWindow: 8 << 20}
+			m, err := runner.DepthSweep(ctx, dcfg, "silo", bench.Ratio1to8, nil, nil, nil, nil)
+			if err != nil {
+				return bench.Table{}, err
+			}
+			writeCounters(*out, "depthsweep", m)
+			title := fmt.Sprintf("depth sweep: silo 1:8 throughput vs hierarchy depth/admission/fault rate (normalised to each policy's depth-2 always-admit fault-free run, seed %d)", cfg.Seed)
+			return bench.DepthSweepTable(title, m, "silo", bench.Ratio1to8, nil, nil, nil, nil), nil
 		}},
 		{"faultsweep", func() (bench.Table, error) {
 			// The fault-rate x policy degradation matrix (EXPERIMENTS.md

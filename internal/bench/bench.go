@@ -64,6 +64,19 @@ type Config struct {
 	// plan seed from the machine seed, so matrix cells fault
 	// independently but deterministically.
 	Faults tier.FaultConfig
+
+	// Topology, when non-nil, replaces the default two-tier machine
+	// with an explicit tier chain on every machine the harness builds
+	// (the ratio-derived FastBytes/CapBytes are then ignored — the
+	// topology's own capacities rule). The depth sweep builds per-cell
+	// topologies itself and does not read this field.
+	Topology *tier.Topology
+	// Admission, when non-nil, installs a migration admission policy
+	// (tier.Admission) on every machine the harness builds.
+	Admission tier.Admission
+	// Mover, when enabled, runs the rate-limited background mover on
+	// every machine the harness builds (tier.MoverConfig).
+	Mover tier.MoverConfig
 }
 
 // DefaultConfig returns the harness defaults used by the bench targets.
@@ -161,6 +174,9 @@ func MachineFor(spec workload.Spec, r Ratio, polName string, cfg Config) sim.Con
 		RecordNS:  cfg.RecordNS,
 		Trace:     cfg.Trace,
 		Faults:    cfg.Faults,
+		Topology:  cfg.Topology,
+		Admission: cfg.Admission,
+		Mover:     cfg.Mover,
 	}
 }
 
@@ -185,6 +201,9 @@ func RunBaseline(wname string, cfg Config) sim.Result {
 		Seed:      cfg.Seed,
 		Trace:     cfg.Trace,
 		Faults:    cfg.Faults,
+		Topology:  cfg.Topology,
+		Admission: cfg.Admission,
+		Mover:     cfg.Mover,
 	}
 	return sim.Run(mc, NewPolicy("all-capacity"), w, cfg.Accesses)
 }
@@ -203,6 +222,9 @@ func RunAllFast(wname string, thp bool, cfg Config) sim.Result {
 		Seed:      cfg.Seed,
 		Trace:     cfg.Trace,
 		Faults:    cfg.Faults,
+		Topology:  cfg.Topology,
+		Admission: cfg.Admission,
+		Mover:     cfg.Mover,
 	}
 	return sim.Run(mc, NewPolicy("all-fast"), w, cfg.Accesses)
 }

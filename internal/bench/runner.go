@@ -79,10 +79,12 @@ type Cancelled struct {
 	Cause error // the context's error (Canceled or DeadlineExceeded)
 }
 
+// Error implements error.
 func (e *Cancelled) Error() string {
 	return fmt.Sprintf("bench: cancelled after %d/%d cells: %v", e.Done, e.Total, e.Cause)
 }
 
+// Unwrap exposes the context's error to errors.Is/errors.As.
 func (e *Cancelled) Unwrap() error { return e.Cause }
 
 // Progress is one runner progress event, emitted after each cell

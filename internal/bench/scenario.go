@@ -45,6 +45,9 @@ func ScenarioMachine(sc *scenario.Runner, r Ratio, cfg Config) sim.Config {
 		RecordNS:  cfg.RecordNS,
 		Trace:     cfg.Trace,
 		Faults:    faults,
+		Topology:  cfg.Topology,
+		Admission: cfg.Admission,
+		Mover:     cfg.Mover,
 	}
 }
 
@@ -71,6 +74,9 @@ func RunScenarioBaseline(sc *scenario.Runner, cfg Config) sim.Result {
 		Seed:      cfg.Seed,
 		Trace:     cfg.Trace,
 		Faults:    faults,
+		Topology:  cfg.Topology,
+		Admission: cfg.Admission,
+		Mover:     cfg.Mover,
 	}
 	return sim.Run(mc, NewPolicy("all-capacity"), sc, cfg.Accesses)
 }

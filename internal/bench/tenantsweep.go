@@ -37,11 +37,13 @@ func NewTenantLoad(name string, bytes uint64) *TenantLoad {
 	return &TenantLoad{name: name, bytes: bytes}
 }
 
+// Name identifies the workload in tables and traces.
 func (t *TenantLoad) Name() string { return t.name }
 
 // RSSBytes reports the region the workload reserves on first schedule.
 func (t *TenantLoad) RSSBytes() uint64 { return t.bytes }
 
+// Run drives the 90/10 skewed access loop over the tenant's region.
 func (t *TenantLoad) Run(m *sim.Machine, accesses uint64) {
 	r := m.Reserve(t.bytes)
 	hot := r.Pages / 8
@@ -155,6 +157,9 @@ func RunTenants(tn *tenant.Runner, rss uint64, polName string, rt Ratio, cfg Con
 		RecordNS:  cfg.RecordNS,
 		Trace:     cfg.Trace,
 		Faults:    cfg.Faults,
+		Topology:  cfg.Topology,
+		Admission: cfg.Admission,
+		Mover:     cfg.Mover,
 	}
 	return sim.Run(mc, NewPolicy(polName), tn, cfg.Accesses)
 }

@@ -27,6 +27,7 @@ import (
 	"memtis/internal/histogram"
 	"memtis/internal/obs"
 	"memtis/internal/pebs"
+	"memtis/internal/policy"
 	"memtis/internal/sim"
 	"memtis/internal/tier"
 	"memtis/internal/vm"
@@ -155,9 +156,10 @@ type blockState struct {
 
 // Policy is the MEMTIS tiering policy. Create one per machine run.
 type Policy struct {
-	cfg Config
-	m   *sim.Machine
-	smp *pebs.Sampler
+	cfg  Config
+	m    *sim.Machine
+	smp  *pebs.Sampler
+	gate *policy.AdmissionGate
 
 	pageHist histogram.Histogram // H_i scale, units of 4KB pages
 	baseHist histogram.Histogram // emulated base-page histogram
@@ -318,6 +320,7 @@ func (p *Policy) Attach(m *sim.Machine) {
 		p.estimateEvery = 1024
 	}
 	p.blocks = make(map[uint64]*blockState)
+	p.gate = policy.NewAdmissionGate(m)
 	m.AS.OnUnmap = p.onUnmap
 }
 
@@ -707,7 +710,7 @@ func (p *Policy) processSample(tr vm.TouchResult) {
 	// are never migrated proactively — the migration overhead would
 	// overshadow the benefit (§4.2.1); the warm set exists to protect
 	// fast-tier residents from demotion, not to pull pages in.
-	if pg.Tier == tier.CapacityTier && pg.Bin >= p.th.Hot && pg.PFlags&flagInPromo == 0 {
+	if pg.Tier != tier.FastTier && pg.Bin >= p.th.Hot && pg.PFlags&flagInPromo == 0 {
 		pg.PFlags |= flagInPromo
 		p.promo = append(p.promo, pg)
 	}
@@ -1019,6 +1022,13 @@ func (p *Policy) splitOne(pg *vm.Page) {
 	if p.bth.MarginBin >= 1 && p.bth.MarginBin < hotBin {
 		hotBin = p.bth.MarginBin
 	}
+	// Cold subpages stay on the page's tier, except that a fast-tier
+	// split sheds its cold remainder one hop down (at depth 2 both
+	// cases are the capacity tier, exactly as before).
+	coldDst := pg.Tier
+	if coldDst == tier.FastTier {
+		coldDst = p.m.DemoteTarget(coldDst)
+	}
 	subs, ns := p.m.SpaceOf(pg).Split(pg, func(j int) tier.ID {
 		if histogram.BinOf(pg.SubHotness(j)) >= hotBin {
 			if p.m.Fast.FreeFrames() > 0 {
@@ -1026,7 +1036,7 @@ func (p *Policy) splitOne(pg *vm.Page) {
 			}
 			return tier.NoTier
 		}
-		return tier.CapacityTier
+		return coldDst
 	})
 	for _, sp := range subs {
 		sp.PFlags = flagRegistered
@@ -1066,7 +1076,7 @@ func (p *Policy) promoteList(list *[]*vm.Page, validFlag uint32, allowWarmVictim
 	target := p.freeTarget()
 	for len(*list) > 0 && budget > 0 {
 		pg := (*list)[0]
-		valid := !pg.Dead() && pg.Tier == tier.CapacityTier
+		valid := !pg.Dead() && pg.Tier != tier.FastTier
 		if valid {
 			// Settle pending cooling so candidacy is judged on the
 			// page's current classification, not a stale bin.
@@ -1106,7 +1116,22 @@ func (p *Policy) promoteList(list *[]*vm.Page, validFlag uint32, allowWarmVictim
 // for every wasted attempt plus backoff. With faults disabled this is
 // exactly the old single-shot Migrate: no retries, no extra cost. On
 // success the fast-tier list membership follows the page's new tier.
+//
+// All of kmigrated's moves are background work, so when an admission
+// policy is configured the gate scores each as async, and when the
+// machine runs a background mover the move is enqueued there instead
+// of copying inline (list membership then follows the page on the
+// mover's commit via the cooling sweep's self-healing re-link).
 func (p *Policy) migrate(pg *vm.Page, dst tier.ID) bool {
+	if p.gate.Installed() && !p.gate.Allow(pg, dst, false) {
+		return false
+	}
+	if mv := p.m.Mover(); mv.Enabled() && mv.Enqueue(p.m.AS, pg, dst) {
+		if dst != tier.FastTier {
+			p.fastListRemove(pg, pg.Bin)
+		}
+		return true
+	}
 	fp := p.m.Faults()
 	for attempt := 0; ; attempt++ {
 		ns, st := p.m.AS.MigrateTx(pg, dst)
@@ -1182,7 +1207,7 @@ func (p *Policy) reclaimTo(frames uint64, allowWarm bool, budget *uint64) {
 			p.fastListAdd(pg)
 			return
 		}
-		if p.migrate(pg, tier.CapacityTier) {
+		if p.migrate(pg, p.m.DemoteTarget(pg.Tier)) {
 			*budget -= pg.Bytes()
 		}
 	}
@@ -1269,7 +1294,7 @@ func (p *Policy) tryCollapse() {
 		if !allHot {
 			continue
 		}
-		dst := tier.CapacityTier
+		dst := p.m.DemoteTarget(tier.FastTier)
 		if p.m.Fast.HasHugeFrame() {
 			dst = tier.FastTier
 		}

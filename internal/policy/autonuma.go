@@ -37,11 +37,11 @@ func (a *AutoNUMA) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 	}
 	pg.PFlags &^= flagArmed
 	stall := uint64(HintFaultNS)
-	if pg.Tier == tier.CapacityTier {
-		// Promote on the critical path; silently skipped when the fast
-		// tier is full (AutoNUMA has no demotion to make room). The ns
-		// of a fault-aborted promotion still stalls the thread.
-		ns, _ := a.MigrateSync(pg, tier.FastTier)
+	if pg.Tier != tier.FastTier {
+		// Promote on the critical path; silently skipped when the next
+		// tier up is full (AutoNUMA has no demotion to make room). The
+		// ns of a fault-aborted promotion still stalls the thread.
+		ns, _ := a.MigrateSync(pg, a.M.PromoteTarget(pg.Tier))
 		stall += ns
 	}
 	return stall

@@ -34,6 +34,9 @@ func (a *AutoTiering) Name() string { return "autotiering" }
 
 // PlaceNew implements sim.Policy: allocations use the fast tier only
 // while it has never filled; the demotion reserve is promotions-only.
+// Overflow walks down the hierarchy to the first lower tier with room
+// (on the two-tier machine that is always the over-provisioned
+// capacity tier, the §6.2.6 behaviour).
 func (a *AutoTiering) PlaceNew(huge bool, vpn uint64) tier.ID {
 	need := uint64(tier.SubPages)
 	if !huge {
@@ -41,6 +44,11 @@ func (a *AutoTiering) PlaceNew(huge bool, vpn uint64) tier.ID {
 	}
 	if a.M.Fast.FreeFrames() >= a.FastReserveFrames(a.reserve)+need {
 		return tier.FastTier
+	}
+	for id := tier.CapacityTier; int(id) < a.M.Depth(); id++ {
+		if a.M.Tier(id).FreeFrames() >= need {
+			return id
+		}
 	}
 	return tier.CapacityTier
 }
@@ -59,8 +67,8 @@ func (a *AutoTiering) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64
 	pg.PFlags &^= flagArmed
 	pg.P0 |= 1 // set current history bit
 	stall := uint64(HintFaultNS)
-	if pg.Tier == tier.CapacityTier {
-		ns, _ := a.MigrateSync(pg, tier.FastTier)
+	if pg.Tier != tier.FastTier {
+		ns, _ := a.MigrateSync(pg, a.M.PromoteTarget(pg.Tier))
 		stall += ns
 	}
 	return stall
@@ -104,7 +112,7 @@ func (a *AutoTiering) demote() {
 			continue
 		}
 		if bits.OnesCount64(pg.P0) <= 1 {
-			a.MigrateAsync(pg, tier.CapacityTier)
+			a.MigrateAsync(pg, a.M.DemoteTarget(pg.Tier))
 		}
 	}
 	a.BgNS += uint64(scan) * 20

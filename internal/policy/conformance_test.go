@@ -65,17 +65,12 @@ func (p *probe) PlaceNew(huge bool, vpn uint64) tier.ID {
 	if huge {
 		need = tier.SubPages
 	}
-	switch id {
-	case tier.NoTier:
-	case tier.FastTier:
-		if free := p.m.Fast.FreeFrames(); free < need {
-			p.t.Errorf("%s: PlaceNew targeted the fast tier with %d free frames (need %d)",
-				p.Name(), free, need)
-		}
-	case tier.CapacityTier:
-		if free := p.m.Cap.FreeFrames(); free < need {
-			p.t.Errorf("%s: PlaceNew targeted the capacity tier with %d free frames (need %d)",
-				p.Name(), free, need)
+	switch {
+	case id == tier.NoTier:
+	case id >= tier.FastTier && int(id) < p.m.Depth():
+		if free := p.m.Tier(id).FreeFrames(); free < need {
+			p.t.Errorf("%s: PlaceNew targeted the %s tier with %d free frames (need %d)",
+				p.Name(), id, free, need)
 		}
 	default:
 		p.t.Errorf("%s: PlaceNew returned unknown tier %v", p.Name(), id)
@@ -190,6 +185,53 @@ func TestPolicyConformanceUnderFaults(t *testing.T) {
 				if aborts == 0 {
 					t.Errorf("%s: no migration aborts at a 5%% copy-fault rate", name)
 				}
+			}
+		})
+	}
+}
+
+// TestPolicyConformanceNTier reruns the conformance suite on a
+// four-tier hierarchy (DRAM > CXL > NVM > Far) with 5% of migration
+// copies aborting, the benefit admission gate installed and the
+// rate-limited background mover running — the full DESIGN.md §11
+// configuration. Beyond the usual contract and the transactional
+// audit, it asserts the mover's budget invariant: the bytes it moved
+// plus the bytes it wasted on aborted copies never exceed the bytes
+// its token bucket granted.
+func TestPolicyConformanceNTier(t *testing.T) {
+	fc := tier.FaultConfig{MigrateFailPpm: 50_000}
+	bound := policy.MaxSyncStallNS(fc)
+
+	spec := workload.MustNew("silo").Spec()
+	cfg := bench.DefaultConfig()
+	cfg.Accesses = 150_000
+	cfg.Faults = fc
+	topo, err := bench.TopologyForDepth(spec.RSSBytes(), bench.Ratio1to8, 4, cfg.CapKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Topology = topo
+	cfg.Admission = tier.BenefitAdmission{}
+	cfg.Mover = tier.MoverConfig{BytesPerWindow: 8 << 20}
+	for _, name := range bench.AllPolicies {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			mc := bench.MachineFor(spec, bench.Ratio1to8, name, cfg)
+			p := &probe{t: t, inner: bench.NewPolicy(name), maxStall: bound, auditEvery: 4096}
+			res := sim.Run(mc, p, workload.MustNew("silo"), cfg.Accesses)
+			if res.Accesses != cfg.Accesses {
+				t.Errorf("ran %d accesses, want %d", res.Accesses, cfg.Accesses)
+			}
+			p.check("final")
+			if err := p.m.AS.Audit(); err != nil {
+				t.Errorf("final address-space audit: %v", err)
+			}
+			cnt := map[string]uint64{}
+			for _, mt := range res.Counters {
+				cnt[mt.Name] = mt.Value
+			}
+			if spent := cnt["mover/moved_bytes"] + cnt["mover/wasted_bytes"]; spent > cnt["mover/granted_bytes"] {
+				t.Errorf("mover spent %d bytes of a %d-byte grant", spent, cnt["mover/granted_bytes"])
 			}
 		})
 	}

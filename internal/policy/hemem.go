@@ -119,7 +119,7 @@ func (h *HeMem) sample(pg *vm.Page) {
 	pg.Count++
 	if pg.Count == h.HotThresh {
 		h.hotBytes += pg.Bytes()
-		if pg.Tier == tier.CapacityTier && pg.PFlags&flagQueued == 0 {
+		if pg.Tier != tier.FastTier && pg.PFlags&flagQueued == 0 {
 			pg.PFlags |= flagQueued
 			h.promo = append(h.promo, pg)
 		}
@@ -164,7 +164,7 @@ func (h *HeMem) Tick(now uint64) {
 	// Promote classified-hot pages.
 	for len(h.promo) > 0 && budget > 0 {
 		pg := h.promo[0]
-		if pg.Dead() || pg.Tier != tier.CapacityTier || pg.Count < h.HotThresh {
+		if pg.Dead() || pg.Tier == tier.FastTier || pg.Count < h.HotThresh {
 			pg.PFlags &^= flagQueued
 			h.promo = h.promo[1:]
 			continue
@@ -211,7 +211,7 @@ func (h *HeMem) demoteOne() bool {
 		if pg.Dead() || pg.Tier != tier.FastTier || pg.Count >= h.HotThresh {
 			continue
 		}
-		return h.MigrateAsync(pg, tier.CapacityTier)
+		return h.MigrateAsync(pg, h.M.DemoteTarget(pg.Tier))
 	}
 	return false
 }

@@ -64,7 +64,7 @@ func (c *MultiClock) Tick(now uint64) {
 			if pg.P0 < 3 {
 				pg.P0++
 			}
-			if pg.Tier == tier.CapacityTier && pg.P0 >= 2 && pg.PFlags&flagQueued == 0 {
+			if pg.Tier != tier.FastTier && pg.P0 >= 2 && pg.PFlags&flagQueued == 0 {
 				pg.PFlags |= flagQueued
 				c.promo = append(c.promo, pg)
 			}
@@ -82,7 +82,7 @@ func (c *MultiClock) migrate() {
 	budget := uint64(8 << 20)
 	for len(c.promo) > 0 && budget > 0 {
 		pg := c.promo[0]
-		if pg.Dead() || pg.Tier != tier.CapacityTier || pg.P0 < 2 {
+		if pg.Dead() || pg.Tier == tier.FastTier || pg.P0 < 2 {
 			pg.PFlags &^= flagQueued
 			c.promo = c.promo[1:]
 			continue
@@ -130,7 +130,7 @@ func (c *MultiClock) demoteOne() bool {
 			pg.P0--
 			continue
 		}
-		return c.MigrateAsync(pg, tier.CapacityTier)
+		return c.MigrateAsync(pg, c.M.DemoteTarget(pg.Tier))
 	}
 	return false
 }

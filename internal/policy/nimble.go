@@ -62,7 +62,7 @@ func (n *Nimble) Tick(now uint64) {
 	for _, pg := range n.Registry {
 		if pg.PFlags&flagAccessed != 0 {
 			pg.PFlags &^= flagAccessed
-			if pg.Tier == tier.CapacityTier {
+			if pg.Tier != tier.FastTier {
 				n.hot = append(n.hot, pg)
 			}
 			pg.P0 = now // last-seen-accessed stamp
@@ -80,7 +80,7 @@ func (n *Nimble) exchange() {
 	for len(n.hot) > 0 && budget > 0 {
 		pg := n.hot[0]
 		n.hot = n.hot[1:]
-		if pg.Dead() || pg.Tier != tier.CapacityTier {
+		if pg.Dead() || pg.Tier == tier.FastTier {
 			continue
 		}
 		if pg.Bytes() > budget {
@@ -115,7 +115,7 @@ func (n *Nimble) demoteOne(huge bool) bool {
 		if pg.PFlags&flagAccessed != 0 {
 			continue // keep very recently accessed pages
 		}
-		return n.MigrateAsync(pg, tier.CapacityTier)
+		return n.MigrateAsync(pg, n.M.DemoteTarget(pg.Tier))
 	}
 	// Everything accessed: demote anyway (threshold-of-one thrash).
 	for i := 0; i < tries; i++ {
@@ -127,7 +127,7 @@ func (n *Nimble) demoteOne(huge bool) bool {
 		if pg.Dead() || pg.Tier != tier.FastTier || pg.IsHuge() != huge {
 			continue
 		}
-		return n.MigrateAsync(pg, tier.CapacityTier)
+		return n.MigrateAsync(pg, n.M.DemoteTarget(pg.Tier))
 	}
 	return false
 }

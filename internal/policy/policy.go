@@ -62,6 +62,9 @@ type Base struct {
 	rateTokens float64
 
 	mc *migCounters
+
+	ag     *AdmissionGate
+	agInit bool
 }
 
 // migCounters are the migration admission/rejection counters every
@@ -176,11 +179,27 @@ func (b *Base) Compact() {
 	b.Registry = live
 }
 
-// admit applies admission control: the caller's Admit hook when set,
-// otherwise the default policy described on the field.
+// Gate lazily binds the machine's admission gate (nil when the machine
+// has no tier.Admission configured). Lazy for the same reason mig() is:
+// b.M is only set once the machine is constructed.
+func (b *Base) Gate() *AdmissionGate {
+	if !b.agInit {
+		b.agInit = true
+		b.ag = NewAdmissionGate(b.M)
+	}
+	return b.ag
+}
+
+// admit applies admission control, in precedence order: the caller's
+// Admit hook when set, then the machine's configured tier.Admission
+// policy through the gate, then the default described on the Admit
+// field (deny async during throttle windows).
 func (b *Base) admit(pg *vm.Page, dst tier.ID, sync bool) bool {
 	if b.Admit != nil {
 		return b.Admit(pg, dst, sync)
+	}
+	if g := b.Gate(); g.Installed() {
+		return g.Allow(pg, dst, sync)
 	}
 	if !sync && b.M.Faults().ThrottleActive(b.M.Now()) {
 		return false
@@ -245,12 +264,22 @@ func (b *Base) MigrateSync(pg *vm.Page, dst tier.ID) (uint64, bool) {
 }
 
 // MigrateAsync migrates in the background, charging the daemon budget
-// — including the wasted copies of aborted attempts.
+// — including the wasted copies of aborted attempts. When the machine
+// runs a background mover the migration is enqueued there instead of
+// executing inline: the copy then happens later, against the mover's
+// bandwidth budget, and true means "accepted", not "moved". A full
+// mover queue falls back to the inline path so policies keep making
+// progress under backpressure.
 func (b *Base) MigrateAsync(pg *vm.Page, dst tier.ID) bool {
 	mc := b.mig()
 	if !b.admit(pg, dst, false) {
 		*mc.asyncRejAdm++
 		return false
+	}
+	if mv := b.M.Mover(); mv.Enabled() && mv.Enqueue(b.M.AS, pg, dst) {
+		*mc.asyncPages += pg.Units()
+		*mc.asyncBytes += pg.Bytes()
+		return true
 	}
 	ns, st := b.migrateTx(pg, dst)
 	b.BgNS += ns

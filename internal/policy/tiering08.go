@@ -59,8 +59,8 @@ func (t *Tiering08) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 	last := pg.P0
 	pg.P0 = now
 	stall := uint64(HintFaultNS)
-	if pg.Tier == tier.CapacityTier && now-last < t.threshNS {
-		ns, ok := t.MigrateSync(pg, tier.FastTier)
+	if pg.Tier != tier.FastTier && now-last < t.threshNS {
+		ns, ok := t.MigrateSync(pg, t.M.PromoteTarget(pg.Tier))
 		stall += ns
 		if ok {
 			t.promoBytes += pg.Bytes()
@@ -128,7 +128,7 @@ func (t *Tiering08) demote() {
 			pg.PFlags &^= flagAccessed // second chance
 			continue
 		}
-		t.MigrateAsync(pg, tier.CapacityTier)
+		t.MigrateAsync(pg, t.M.DemoteTarget(pg.Tier))
 	}
 	t.BgNS += uint64(scan) * 25
 }

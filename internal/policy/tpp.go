@@ -51,9 +51,9 @@ func (t *TPP) OnAccess(tr vm.TouchResult, vpn uint64, write bool) uint64 {
 	last := pg.P0
 	pg.P0 = epoch
 	stall := uint64(HintFaultNS)
-	if pg.Tier == tier.CapacityTier && last+2 > epoch && last != 0 {
+	if pg.Tier != tier.FastTier && last+2 > epoch && last != 0 {
 		// Second access within two scan generations.
-		ns, _ := t.MigrateSync(pg, tier.FastTier)
+		ns, _ := t.MigrateSync(pg, t.M.PromoteTarget(pg.Tier))
 		stall += ns
 	}
 	return stall
@@ -94,7 +94,7 @@ func (t *TPP) demote() {
 			pg.PFlags &^= flagAccessed
 			continue
 		}
-		t.MigrateAsync(pg, tier.CapacityTier)
+		t.MigrateAsync(pg, t.M.DemoteTarget(pg.Tier))
 	}
 	t.BgNS += uint64(scan) * 25
 }

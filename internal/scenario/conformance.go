@@ -95,15 +95,11 @@ func (p *Probe) PlaceNew(huge bool, vpn uint64) tier.ID {
 	if huge {
 		need = tier.SubPages
 	}
-	switch id {
-	case tier.NoTier:
-	case tier.FastTier:
-		if free := p.m.Fast.FreeFrames(); free < need {
-			p.violatef("PlaceNew targeted the fast tier with %d free frames (need %d)", free, need)
-		}
-	case tier.CapacityTier:
-		if free := p.m.Cap.FreeFrames(); free < need {
-			p.violatef("PlaceNew targeted the capacity tier with %d free frames (need %d)", free, need)
+	switch {
+	case id == tier.NoTier:
+	case id >= tier.FastTier && int(id) < p.m.Depth():
+		if free := p.m.Tier(id).FreeFrames(); free < need {
+			p.violatef("PlaceNew targeted the %s tier with %d free frames (need %d)", id, free, need)
 		}
 	default:
 		p.violatef("PlaceNew returned unknown tier %v", id)

@@ -1,7 +1,8 @@
 // Package sim is the discrete, deterministic tiered-memory machine
 // simulator. A Machine wires a workload's access stream through a TLB
-// model and an address space over two memory tiers, charges every
-// access the latency of the tier its page lives on, and drives a
+// model and an address space over a chain of memory tiers (the default
+// two-tier fast/capacity pair, or an N-deep tier.Topology), charges
+// every access the latency of the tier its page lives on, and drives a
 // pluggable tiering Policy (MEMTIS or one of the baselines).
 //
 // Virtual time is the time experienced by one representative
@@ -92,6 +93,21 @@ type Config struct {
 	FastBytes uint64
 	CapBytes  uint64
 	CapKind   tier.Kind // NVM (default) or CXL
+	// Topology, when non-nil, replaces the two-tier FastBytes/CapBytes/
+	// CapKind trio with an N-deep chain (per-tier sizes and latencies,
+	// per-hop migration costs). Nil builds the historical two-tier
+	// machine — byte-identical to the pre-topology simulator.
+	Topology *tier.Topology
+	// Mover configures the rate-limited background mover. The zero
+	// value disables it: policies migrate inline, exactly as before,
+	// and no mover counters are registered.
+	Mover tier.MoverConfig
+	// Admission, when non-nil, is the machine-wide admission-control
+	// policy scoring migration benefit against per-hop cost; policies
+	// consult it through their shared helpers. Nil keeps the historical
+	// default (async migration deferred during throttle windows) and
+	// registers no admission counters.
+	Admission tier.Admission
 	THP       bool
 	TLB       tlb.Config
 	Cores     int // physical cores (paper: 20)
@@ -172,17 +188,30 @@ type Result struct {
 	Tenants []TenantResult
 }
 
-// Machine is one simulated two-tier host running a single workload
-// under a single policy.
+// Machine is one simulated tiered host running a single workload under
+// a single policy. Fast and Cap alias the endpoints of the tier chain;
+// Tiers holds the full chain on N-tier machines.
 type Machine struct {
 	Cfg  Config
 	Fast *tier.Tier
 	Cap  *tier.Tier
-	AS   *vm.AddressSpace
-	TLB  *tlb.TLB
-	Pol  Policy
-	Rand *rand.Rand
-	reg  *obs.Registry
+	// Tiers is the tier chain, fastest first (Tiers[0] == Fast,
+	// Tiers[len-1] == Cap; exactly those two on a default machine).
+	Tiers []*tier.Tier
+	AS    *vm.AddressSpace
+	TLB   *tlb.TLB
+	Pol   Policy
+	Rand  *rand.Rand
+	reg   *obs.Registry
+
+	// topo is Cfg.Topology (nil on the historical two-tier path); new
+	// address spaces inherit its hop-cost model.
+	topo *tier.Topology
+
+	// mover is the rate-limited background mover (nil when disabled).
+	mover *vm.Mover
+	// moverNS accumulates the mover's copy work for DaemonUtil.
+	moverNS uint64
 
 	// faults is the machine's fault plan (nil when cfg.Faults is the
 	// zero value, which keeps the hot path at one nil check).
@@ -191,10 +220,10 @@ type Machine struct {
 	ctrStallWins    *uint64
 	ctrStallNS      *uint64
 
-	// Tier latencies, hoisted out of the per-access path at
-	// construction (tier.AccessNS is two pointer chases per call).
-	fastLoadNS, fastStoreNS uint64
-	capLoadNS, capStoreNS   uint64
+	// Per-tier latencies indexed by tier ID, hoisted out of the
+	// per-access path at construction (tier.AccessNS is two pointer
+	// chases per call).
+	loadNS, storeNS []uint64
 
 	now      uint64
 	accesses uint64
@@ -256,17 +285,25 @@ func (defaultPlacer) PlaceNew(bool, uint64) tier.ID { return tier.NoTier }
 // FastBytes is tiny or CapBytes covers everything.
 func NewMachine(cfg Config, pol Policy) *Machine {
 	cfg.fillDefaults()
-	fast := tier.MustNew(tier.Config{Name: "DRAM", Kind: tier.DRAM, Bytes: cfg.FastBytes})
-	capT := tier.MustNew(tier.Config{Name: cfg.CapKind.String(), Kind: cfg.CapKind, Bytes: cfg.CapBytes})
+	topo := cfg.Topology
+	if topo == nil {
+		topo = tier.DefaultTopology(cfg.FastBytes, cfg.CapBytes, cfg.CapKind)
+	}
+	tiers, err := topo.Build()
+	if err != nil {
+		panic(err)
+	}
 	m := &Machine{
-		Cfg:  cfg,
-		Fast: fast,
-		Cap:  capT,
-		AS:   vm.NewAddressSpace(fast, capT, cfg.THP),
-		TLB:  tlb.New(cfg.TLB),
-		Pol:  pol,
-		Rand: rand.New(rand.NewSource(cfg.Seed + 7)),
-		reg:  obs.NewRegistry(),
+		Cfg:   cfg,
+		Fast:  tiers[0],
+		Cap:   tiers[len(tiers)-1],
+		Tiers: tiers,
+		topo:  cfg.Topology,
+		AS:    vm.NewAddressSpaceTiers(tiers, cfg.Topology, cfg.THP),
+		TLB:   tlb.New(cfg.TLB),
+		Pol:   pol,
+		Rand:  rand.New(rand.NewSource(cfg.Seed + 7)),
+		reg:   obs.NewRegistry(),
 	}
 	m.cur = m.AS
 	if cfg.Trace != nil {
@@ -295,8 +332,16 @@ func NewMachine(cfg Config, pol Policy) *Machine {
 		g.Counter("migrate_aborts")
 		g.Counter("abort_ns")
 	}
-	m.fastLoadNS, m.fastStoreNS = fast.AccessNS(false), fast.AccessNS(true)
-	m.capLoadNS, m.capStoreNS = capT.AccessNS(false), capT.AccessNS(true)
+	if cfg.Mover.Enabled() {
+		m.mover = vm.NewMover(cfg.Mover, m.faults)
+		m.mover.AttachMetrics(m.reg.Group("mover"))
+	}
+	m.loadNS = make([]uint64, len(tiers))
+	m.storeNS = make([]uint64, len(tiers))
+	for i, t := range tiers {
+		m.loadNS[i] = t.AccessNS(false)
+		m.storeNS[i] = t.AccessNS(true)
+	}
 	m.nextTick = cfg.TickNS
 	m.nextRecord = math.MaxUint64
 	if cfg.RecordNS > 0 {
@@ -331,6 +376,46 @@ func (m *Machine) Tracer() *obs.Tracer { return m.Cfg.Trace }
 // case, so callers consult it unguarded.
 func (m *Machine) Faults() *tier.FaultPlan { return m.faults }
 
+// Mover returns the machine's background mover — nil when disabled,
+// which every Mover method treats as the inline-migration case, so
+// the policy helpers consult it unguarded.
+func (m *Machine) Mover() *vm.Mover { return m.mover }
+
+// Depth returns the number of tiers in the machine's chain.
+func (m *Machine) Depth() int { return len(m.Tiers) }
+
+// Tier returns the tier object at chain position id.
+func (m *Machine) Tier(id tier.ID) *tier.Tier { return m.Tiers[id] }
+
+// LastTier returns the ID of the deepest tier of the chain.
+func (m *Machine) LastTier() tier.ID { return tier.ID(len(m.Tiers) - 1) }
+
+// PromoteTarget returns the tier one hop above id — the destination of
+// a single-hop promotion — clamped at the fast tier.
+func (m *Machine) PromoteTarget(id tier.ID) tier.ID {
+	if id <= tier.FastTier {
+		return tier.FastTier
+	}
+	return id - 1
+}
+
+// DemoteTarget returns the tier one hop below id — the destination of
+// a single-hop demotion — clamped at the deepest tier.
+func (m *Machine) DemoteTarget(id tier.ID) tier.ID {
+	if last := m.LastTier(); id >= last {
+		return last
+	}
+	return id + 1
+}
+
+// AccessGainNS returns the per-access load-latency delta of moving a
+// page from src to dst: positive when dst is faster, negative for
+// demotions. The admission layer multiplies it by predicted accesses
+// to score migration benefit.
+func (m *Machine) AccessGainNS(src, dst tier.ID) int64 {
+	return int64(m.loadNS[src]) - int64(m.loadNS[dst])
+}
+
 // Accesses returns the number of accesses issued so far — by the
 // current address space on a multi-tenant machine, by the machine as a
 // whole otherwise. Workload budget loops (`for m.Accesses() < target`)
@@ -359,7 +444,7 @@ func (m *Machine) AddSpace(label string) int {
 		m.spaceAcc = []uint64{m.accesses}
 		m.spaceLabels = []string{""}
 	}
-	as := vm.NewAddressSpace(m.Fast, m.Cap, m.Cfg.THP)
+	as := vm.NewAddressSpaceTiers(m.Tiers, m.topo, m.Cfg.THP)
 	as.Tenant = uint32(len(m.spaces))
 	as.Trace = m.AS.Trace
 	as.Faults = m.AS.Faults
@@ -511,7 +596,7 @@ func (m *Machine) Audit() error {
 	if !m.multi {
 		return m.AS.Audit()
 	}
-	return vm.AuditShared(m.Fast, m.Cap, m.spaces)
+	return vm.AuditSharedTiers(m.Tiers, m.spaces)
 }
 
 // AdvanceBackground lets policies charge additional critical-path time
@@ -548,6 +633,11 @@ func (m *Machine) deliverTicks() {
 		if m.Pol != nil {
 			m.Pol.Tick(m.nextTick)
 		}
+		if m.mover != nil {
+			// The mover drains queued migrations on the tick cadence;
+			// its copy work is daemon time, not critical path.
+			m.moverNS += m.mover.Advance(m.nextTick)
+		}
 		m.nextTick += m.Cfg.TickNS
 	}
 	m.ticking = false
@@ -575,19 +665,13 @@ func (m *Machine) Access(vpn uint64, write bool) {
 	// bookkeeping; it is 0 (a free OR) on single-space machines.
 	tvpn := vpn | m.curTag
 	cost := m.TLB.Access(tvpn, tr.Page.IsHuge()) + tr.FaultNS
-	if tr.Tier == tier.FastTier {
-		if write {
-			cost += m.fastStoreNS
-		} else {
-			cost += m.fastLoadNS
-		}
-		m.fastHits++
+	if write {
+		cost += m.storeNS[tr.Tier]
 	} else {
-		if write {
-			cost += m.capStoreNS
-		} else {
-			cost += m.capLoadNS
-		}
+		cost += m.loadNS[tr.Tier]
+	}
+	if tr.Tier == tier.FastTier {
+		m.fastHits++
 	}
 	if m.faults != nil {
 		// Stall bursts hit the access itself; window starts are polled
@@ -701,6 +785,9 @@ func (m *Machine) Finish(workload string) Result {
 		daemonNS = m.Pol.BackgroundNS()
 		busy = m.Pol.BusyCores()
 	}
+	// The mover's copy work is daemon CPU like any other background
+	// machinery (zero when the mover is disabled).
+	daemonNS += m.moverNS
 	vmStats := m.AS.Stats()
 	if m.multi {
 		// Policies migrate through arbitrary space handles, so the VM

@@ -1,0 +1,143 @@
+package tier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the admission-control layer of the migration path: a
+// pluggable policy that decides, per migration request, whether the
+// predicted benefit of moving a page justifies its measured per-hop
+// copy cost (TierBPF's central observation — tiering that admits every
+// candidate thrashes). Admission only *decides*; the policy helpers in
+// internal/policy build the request from the page and the topology,
+// tally verdicts, and settle rejected requests against what actually
+// happened afterwards (admission/rejected_wasted vs rejected_regret).
+
+// AdmissionRequest carries everything an Admission policy may score.
+// The caller (policy.AdmissionGate) fills it from the page, the
+// topology's hop-cost tables and the machine clock.
+type AdmissionRequest struct {
+	// Src and Dst are the tiers the migration would move between.
+	Src, Dst ID
+	// Bytes is the payload size (4KB for a base page, 2MB for huge).
+	Bytes uint64
+	// Huge reports a huge-page migration.
+	Huge bool
+	// Hotness is the page's current sampled access count — the
+	// predictor of near-future accesses the benefit model multiplies.
+	Hotness uint64
+	// CostNS is the migration copy cost over every hop between Src and
+	// Dst, including any active throttle-window factor.
+	CostNS uint64
+	// GainNS is the per-access latency gained by the move (load-latency
+	// delta between Src and Dst; negative for demotions).
+	GainNS int64
+	// Sync reports a synchronous (demand-path) migration; async
+	// requests come from background policy work or the mover.
+	Sync bool
+	// ThrottleActive reports that Now falls inside a bandwidth-throttle
+	// window of the machine's fault plan.
+	ThrottleActive bool
+	// Now is the machine's virtual clock.
+	Now uint64
+}
+
+// Admission decides whether one migration request may proceed.
+// Implementations must be pure functions of the request (no clocks, no
+// randomness) so runs stay deterministic.
+type Admission interface {
+	// Name identifies the policy in sweep tables and counters.
+	Name() string
+	// Admit reports whether the migration should run.
+	Admit(r AdmissionRequest) bool
+}
+
+// AdmitAll admits every migration — the null admission policy, useful
+// as a sweep baseline to expose what rejection would have saved.
+type AdmitAll struct{}
+
+// Name implements Admission.
+func (AdmitAll) Name() string { return "always" }
+
+// Admit implements Admission: always true.
+func (AdmitAll) Admit(AdmissionRequest) bool { return true }
+
+// ThrottleAdmission defers asynchronous migrations inside bandwidth-
+// throttle windows and admits everything else. This reproduces the
+// historical default behaviour of the policy helpers, as a named
+// policy so sweeps can compare against it.
+type ThrottleAdmission struct{}
+
+// Name implements Admission.
+func (ThrottleAdmission) Name() string { return "throttle" }
+
+// Admit implements Admission: deny async requests during throttle
+// windows, admit everything else.
+func (ThrottleAdmission) Admit(r AdmissionRequest) bool {
+	return r.Sync || !r.ThrottleActive
+}
+
+// BenefitAdmission is the TierBPF-style benefit/cost gate: a promotion
+// is admitted only when its predicted benefit — the page's sampled
+// hotness times the per-access latency gain — covers MinRatioPct
+// percent of the migration cost. Demotions (GainNS <= 0) free scarce
+// fast-tier space and are always admitted, as are synchronous
+// demand-path moves; async promotions additionally defer during
+// throttle windows (cost is inflated there, so a benefit gate that
+// ignored windows would admit moves it just priced wrong).
+type BenefitAdmission struct {
+	// MinRatioPct is the required benefit as a percentage of cost
+	// (100 = benefit must at least equal cost). 0 means 100.
+	MinRatioPct uint64
+}
+
+// Name implements Admission.
+func (b BenefitAdmission) Name() string {
+	if b.MinRatioPct == 0 || b.MinRatioPct == 100 {
+		return "benefit"
+	}
+	return fmt.Sprintf("benefit:%d", b.MinRatioPct)
+}
+
+// Admit implements Admission.
+func (b BenefitAdmission) Admit(r AdmissionRequest) bool {
+	if r.GainNS <= 0 || r.Sync {
+		return r.Sync || !r.ThrottleActive
+	}
+	if r.ThrottleActive {
+		return false
+	}
+	pct := b.MinRatioPct
+	if pct == 0 {
+		pct = 100
+	}
+	return r.Hotness*uint64(r.GainNS)*100 >= pct*r.CostNS
+}
+
+// ParseAdmission decodes an admission-policy name from the CLI and
+// sweep grammars: "always", "throttle", "benefit" or "benefit:PCT"
+// (benefit gate requiring PCT percent of cost). The empty string
+// returns nil — the historical default behaviour, not a policy.
+func ParseAdmission(s string) (Admission, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s == "always":
+		return AdmitAll{}, nil
+	case s == "throttle":
+		return ThrottleAdmission{}, nil
+	case s == "benefit":
+		return BenefitAdmission{}, nil
+	case strings.HasPrefix(s, "benefit:"):
+		pct, err := strconv.ParseUint(strings.TrimPrefix(s, "benefit:"), 10, 32)
+		if err != nil || pct == 0 {
+			return nil, fmt.Errorf("tier: admission %q: want benefit:PCT with positive percent", s)
+		}
+		return BenefitAdmission{MinRatioPct: pct}, nil
+	default:
+		return nil, fmt.Errorf("tier: unknown admission policy %q (want always, throttle or benefit[:PCT])", s)
+	}
+}

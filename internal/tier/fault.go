@@ -105,7 +105,7 @@ func (c FaultConfig) Validate() error {
 	if c.StallPeriodNS > 0 && c.StallDutyNS > c.StallPeriodNS {
 		return fmt.Errorf("tier: stall duty %dns exceeds period %dns", c.StallDutyNS, c.StallPeriodNS)
 	}
-	if c.StallTier != FastTier && c.StallTier != CapacityTier {
+	if c.StallTier < FastTier || c.StallTier >= ID(MaxTiers) {
 		return fmt.Errorf("tier: stall tier %v is not a real tier", c.StallTier)
 	}
 	return nil
@@ -370,13 +370,19 @@ func parseStall(val string, c *FaultConfig) error {
 	if len(parts) != 3 {
 		return fmt.Errorf("stall spec %q is not TIER:DUTY/PERIOD:DUR", val)
 	}
-	switch parts[0] {
-	case "fast":
+	switch {
+	case parts[0] == "fast":
 		c.StallTier = FastTier
-	case "cap", "capacity":
+	case parts[0] == "cap" || parts[0] == "capacity":
 		c.StallTier = CapacityTier
+	case strings.HasPrefix(parts[0], "tier"):
+		n, err := strconv.ParseInt(strings.TrimPrefix(parts[0], "tier"), 10, 8)
+		if err != nil || n < 2 || n >= MaxTiers {
+			return fmt.Errorf("unknown stall tier %q (want fast, cap or tier2..tier%d)", parts[0], MaxTiers-1)
+		}
+		c.StallTier = ID(n)
 	default:
-		return fmt.Errorf("unknown stall tier %q (want fast or cap)", parts[0])
+		return fmt.Errorf("unknown stall tier %q (want fast, cap or tierN)", parts[0])
 	}
 	if err := parseWindow(parts[1], &c.StallDutyNS, &c.StallPeriodNS); err != nil {
 		return err
@@ -465,8 +471,11 @@ func (c FaultConfig) String() string {
 	}
 	if c.StallPeriodNS > 0 {
 		name := "fast"
-		if c.StallTier == CapacityTier {
+		switch {
+		case c.StallTier == CapacityTier:
 			name = "cap"
+		case c.StallTier > CapacityTier:
+			name = c.StallTier.String()
 		}
 		parts = append(parts, "stall="+name+":"+fmtDuration(c.StallDutyNS)+"/"+
 			fmtDuration(c.StallPeriodNS)+":"+fmtDuration(c.StallNS))

@@ -1,0 +1,134 @@
+package tier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MoverConfig configures the rate-limited background mover (Nomad-style
+// asynchronous migration, DESIGN.md §11): policies enqueue migration
+// tasks, and the mover executes them against a migration-bandwidth
+// budget that accrues per virtual-time window. The zero value disables
+// the mover entirely — policies migrate inline, exactly as the
+// simulator always has, and no mover counters are registered.
+type MoverConfig struct {
+	// WindowNS is the budget-accrual window (0 = DefaultMoverWindowNS).
+	WindowNS uint64
+	// BytesPerWindow is the migration budget granted per window; 0
+	// disables the mover.
+	BytesPerWindow uint64
+	// QueueCap bounds the pending-task queue; an enqueue beyond it is
+	// rejected and counted (0 = DefaultMoverQueueCap).
+	QueueCap int
+}
+
+// Mover defaults, applied for zero fields of an enabled config.
+const (
+	// DefaultMoverWindowNS is the default budget window (1ms).
+	DefaultMoverWindowNS = 1_000_000
+	// DefaultMoverQueueCap is the default pending-task bound.
+	DefaultMoverQueueCap = 4096
+	// MaxMoverQueueCap bounds the queue so a misconfigured sweep cannot
+	// hold every page of a large machine in flight.
+	MaxMoverQueueCap = 1 << 20
+)
+
+// Enabled reports whether the mover is configured.
+func (c MoverConfig) Enabled() bool { return c.BytesPerWindow > 0 }
+
+// Validate rejects configurations outside the documented bounds.
+func (c MoverConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.BytesPerWindow > MaxTierBytes {
+		return fmt.Errorf("tier: mover budget %d exceeds %d bytes/window", c.BytesPerWindow, uint64(MaxTierBytes))
+	}
+	if c.WindowNS > MaxHopCostNS {
+		return fmt.Errorf("tier: mover window %dns exceeds %dns", c.WindowNS, uint64(MaxHopCostNS))
+	}
+	if c.QueueCap < 0 || c.QueueCap > MaxMoverQueueCap {
+		return fmt.Errorf("tier: mover queue cap %d outside [0,%d]", c.QueueCap, MaxMoverQueueCap)
+	}
+	return nil
+}
+
+// FillDefaults returns the config with zero fields of an enabled
+// config replaced by the documented defaults.
+func (c MoverConfig) FillDefaults() MoverConfig {
+	if !c.Enabled() {
+		return c
+	}
+	if c.WindowNS == 0 {
+		c.WindowNS = DefaultMoverWindowNS
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = DefaultMoverQueueCap
+	}
+	return c
+}
+
+// ParseMoverSpec decodes the CLI mover specification:
+//
+//	BYTES/WINDOW[:qN]
+//
+// granting BYTES (k/m/g suffixes) of migration budget per WINDOW of
+// virtual time (ns/us/ms/s suffixes), with an optional pending-queue
+// bound. "off" or the empty string decode to the disabled zero config.
+// Example: "8m/1ms:q1024".
+func ParseMoverSpec(s string) (MoverConfig, error) {
+	var c MoverConfig
+	s = strings.TrimSpace(s)
+	if s == "" || s == "off" {
+		return c, nil
+	}
+	body := s
+	if b, q, ok := strings.Cut(s, ":"); ok {
+		qs, found := strings.CutPrefix(q, "q")
+		if !found {
+			return c, fmt.Errorf("tier: mover spec %q: queue bound must be qN", s)
+		}
+		n, err := strconv.ParseInt(qs, 10, 32)
+		if err != nil || n < 1 {
+			return c, fmt.Errorf("tier: mover spec %q: bad queue bound", s)
+		}
+		c.QueueCap = int(n)
+		body = b
+	}
+	by, win, ok := strings.Cut(body, "/")
+	if !ok {
+		return c, fmt.Errorf("tier: mover spec %q is not BYTES/WINDOW[:qN]", s)
+	}
+	var err error
+	if c.BytesPerWindow, err = parseBytes(by); err != nil {
+		return c, fmt.Errorf("tier: mover spec %q: %w", s, err)
+	}
+	if c.WindowNS, err = parseDuration(win); err != nil {
+		return c, fmt.Errorf("tier: mover spec %q: %w", s, err)
+	}
+	if c.BytesPerWindow == 0 || c.WindowNS == 0 {
+		return c, fmt.Errorf("tier: mover spec %q: budget and window must be positive", s)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// String renders the canonical spec form: ParseMoverSpec(c.String())
+// reproduces c for any valid config. The disabled config renders "".
+func (c MoverConfig) String() string {
+	if !c.Enabled() {
+		return ""
+	}
+	win := c.WindowNS
+	if win == 0 {
+		win = DefaultMoverWindowNS
+	}
+	out := fmtBytes(c.BytesPerWindow) + "/" + fmtDuration(win)
+	if c.QueueCap > 0 {
+		out += ":q" + strconv.Itoa(c.QueueCap)
+	}
+	return out
+}

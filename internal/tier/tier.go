@@ -19,26 +19,32 @@ const (
 	HugePageSize = BasePageSize * SubPages
 )
 
-// ID identifies a tier within a Machine. The fast tier is always FastTier
-// and the capacity tier CapacityTier; the simulator is written for two
-// tiers, matching the paper's DRAM+NVM and DRAM+CXL setups.
+// ID identifies a tier within a Machine: the index of the tier in its
+// Topology chain. The fast tier is always FastTier; the historical
+// two-tier machine (the paper's DRAM+NVM and DRAM+CXL setups) pairs it
+// with CapacityTier, and deeper chains append tier 2, 3, ... below.
 type ID int8
 
 const (
-	// FastTier is local DRAM.
+	// FastTier is the top of the chain (local DRAM).
 	FastTier ID = 0
-	// CapacityTier is NVM or CXL-attached memory.
+	// CapacityTier is the tier directly below the fast tier: NVM or
+	// CXL-attached memory in the default two-tier machine.
 	CapacityTier ID = 1
 	// NoTier marks an unplaced page.
 	NoTier ID = -1
 )
 
+// String renders the conventional name of the tier index: "fast",
+// "capacity", "tierN" for deeper chain positions, "none" for NoTier.
 func (id ID) String() string {
-	switch id {
-	case FastTier:
+	switch {
+	case id == FastTier:
 		return "fast"
-	case CapacityTier:
+	case id == CapacityTier:
 		return "capacity"
+	case id > CapacityTier:
+		return fmt.Sprintf("tier%d", int8(id))
 	default:
 		return "none"
 	}
@@ -52,8 +58,10 @@ const (
 	DRAM Kind = iota
 	NVM       // Intel Optane DCPMM-like
 	CXL       // directly-attached CXL 1.1 memory (emulated in the paper)
+	Far       // far memory: network/compressed tier below NVM
 )
 
+// String renders the conventional technology name of the kind.
 func (k Kind) String() string {
 	switch k {
 	case DRAM:
@@ -62,6 +70,8 @@ func (k Kind) String() string {
 		return "NVM"
 	case CXL:
 		return "CXL"
+	case Far:
+		return "Far"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -70,7 +80,8 @@ func (k Kind) String() string {
 // Default latencies in nanoseconds, taken from the paper's evaluation
 // setup (§6.1, §6.4): DRAM load ~80ns, Optane load ~300ns, emulated CXL
 // load 177ns. Store latencies are slightly higher for NVM (write buffer
-// drain) and close to load for DRAM/CXL.
+// drain) and close to load for DRAM/CXL. Far memory models a paged
+// network/compressed tier an order of magnitude slower than NVM.
 const (
 	DRAMLoadNS  = 80
 	DRAMStoreNS = 90
@@ -78,6 +89,8 @@ const (
 	NVMStoreNS  = 400
 	CXLLoadNS   = 177
 	CXLStoreNS  = 190
+	FarLoadNS   = 2_500
+	FarStoreNS  = 3_000
 )
 
 // Config describes one memory tier.
@@ -97,6 +110,8 @@ func (c *Config) fillDefaults() {
 			l, s = NVMLoadNS, NVMStoreNS
 		case CXL:
 			l, s = CXLLoadNS, CXLStoreNS
+		case Far:
+			l, s = FarLoadNS, FarStoreNS
 		default:
 			l, s = DRAMLoadNS, DRAMStoreNS
 		}

@@ -1,0 +1,302 @@
+package vm
+
+import (
+	"memtis/internal/obs"
+	"memtis/internal/tier"
+)
+
+// This file is the rate-limited background mover: the machine-level
+// worker that turns migration from an instantaneous policy-side charge
+// into scheduled work. Policies enqueue tasks; the mover executes them
+// in FIFO order against a migration-bandwidth budget that accrues per
+// virtual-time window (Nomad's throttled asynchronous migration,
+// DESIGN.md §11). Everything is pure arithmetic over the virtual
+// clock, so a fixed (seed, access stream) pair drains the queue
+// identically regardless of wall-clock scheduling or worker count.
+
+// moverTask is one queued migration. src records the page's tier at
+// enqueue time: a task whose page has moved (or died) since is stale
+// and is dropped rather than executed against a different hop than the
+// policy scored.
+type moverTask struct {
+	pg       *Page
+	as       *AddressSpace
+	src, dst tier.ID
+	attempts int
+}
+
+// MoverStats aggregates the mover's lifetime accounting. GrantedBytes
+// only ever grows by whole-window budget grants and MovedBytes +
+// WastedBytes only ever shrink the same token pool, so
+// MovedBytes+WastedBytes <= GrantedBytes is the budget invariant the
+// conformance suite asserts.
+type MoverStats struct {
+	Enqueued     uint64 // tasks accepted into the queue
+	RejectedFull uint64 // enqueues refused by the queue bound
+	Moved        uint64 // tasks whose migration committed
+	MovedBytes   uint64 // bytes committed
+	WastedBytes  uint64 // bytes consumed by aborted copies
+	GrantedBytes uint64 // budget granted (post-burst-cap)
+	Stale        uint64 // tasks dropped: page dead, moved or already home
+	NoSpace      uint64 // tasks dropped: destination tier full
+	Denied       uint64 // tasks dropped: QoS arbitration veto
+	Aborted      uint64 // copy aborts observed (tasks may retry)
+	Dropped      uint64 // tasks dropped after exhausting retries
+	Deferred     uint64 // Advance calls deferred by a throttle window
+	SpentNS      uint64 // virtual time spent copying (daemon work)
+}
+
+// Mover executes queued page migrations against a windowed bandwidth
+// budget. A nil *Mover is valid: every method is the disabled case, so
+// the policy helpers need no guards.
+type Mover struct {
+	cfg    tier.MoverConfig
+	faults *tier.FaultPlan
+
+	queue []moverTask
+	head  int
+
+	tokens  uint64 // unspent budget, bytes
+	started bool
+	lastNS  uint64 // clock at last accrual
+	accNS   uint64 // sub-window remainder carried between accruals
+
+	stats MoverStats
+
+	// Registered counter cells (nil when no registry was attached).
+	ctrMoved, ctrMovedBytes, ctrGranted, ctrWasted *uint64
+	ctrEnq, ctrRejFull, ctrStale, ctrNoSpace       *uint64
+	ctrDenied, ctrAborted, ctrDropped, ctrDeferred *uint64
+	gQueueLen                                      *uint64
+}
+
+// NewMover builds a mover from cfg, returning nil for a disabled
+// config. faults may be nil; when set, Advance defers work inside
+// bandwidth-throttle windows (the mover competes with foreground
+// migration for the same throttled link).
+func NewMover(cfg tier.MoverConfig, faults *tier.FaultPlan) *Mover {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Mover{cfg: cfg.FillDefaults(), faults: faults}
+}
+
+// AttachMetrics registers the mover's counters under g ("mover/..."):
+// enqueued, rejected_full, moved_pages, moved_bytes, wasted_bytes,
+// granted_bytes, stale_dropped, no_space, denied, aborted, dropped,
+// deferred_throttle and the queue_len gauge. Call once per machine;
+// a mover without metrics still works.
+func (mv *Mover) AttachMetrics(g obs.Group) {
+	if mv == nil {
+		return
+	}
+	mv.ctrEnq = g.Counter("enqueued")
+	mv.ctrRejFull = g.Counter("rejected_full")
+	mv.ctrMoved = g.Counter("moved_pages")
+	mv.ctrMovedBytes = g.Counter("moved_bytes")
+	mv.ctrWasted = g.Counter("wasted_bytes")
+	mv.ctrGranted = g.Counter("granted_bytes")
+	mv.ctrStale = g.Counter("stale_dropped")
+	mv.ctrNoSpace = g.Counter("no_space")
+	mv.ctrDenied = g.Counter("denied")
+	mv.ctrAborted = g.Counter("aborted")
+	mv.ctrDropped = g.Counter("dropped")
+	mv.ctrDeferred = g.Counter("deferred_throttle")
+	mv.gQueueLen = g.Gauge("queue_len")
+}
+
+func bump(c *uint64, n uint64) {
+	if c != nil {
+		*c += n
+	}
+}
+
+// Enabled reports whether the mover is active (false on nil).
+func (mv *Mover) Enabled() bool { return mv != nil }
+
+// QueueLen returns the number of pending tasks.
+func (mv *Mover) QueueLen() int {
+	if mv == nil {
+		return 0
+	}
+	return len(mv.queue) - mv.head
+}
+
+// Stats returns a snapshot of the mover's lifetime accounting.
+func (mv *Mover) Stats() MoverStats {
+	if mv == nil {
+		return MoverStats{}
+	}
+	return mv.stats
+}
+
+// Config returns the effective (default-filled) configuration.
+func (mv *Mover) Config() tier.MoverConfig {
+	if mv == nil {
+		return tier.MoverConfig{}
+	}
+	return mv.cfg
+}
+
+// Enqueue queues a migration of p to dst through space as (the handle
+// the policy holds; the page may belong to any space sharing the
+// tiers). It reports whether the task was accepted — false when the
+// mover is disabled (the caller must migrate inline) or the queue is
+// full.
+func (mv *Mover) Enqueue(as *AddressSpace, p *Page, dst tier.ID) bool {
+	if mv == nil {
+		return false
+	}
+	if p.dead || p.Tier == dst {
+		return true // nothing to do; treat as accepted and settled
+	}
+	if mv.QueueLen() >= mv.cfg.QueueCap {
+		mv.stats.RejectedFull++
+		bump(mv.ctrRejFull, 1)
+		return false
+	}
+	mv.queue = append(mv.queue, moverTask{pg: p, as: as, src: p.Tier, dst: dst})
+	mv.stats.Enqueued++
+	bump(mv.ctrEnq, 1)
+	mv.updateQueueGauge()
+	return true
+}
+
+func (mv *Mover) updateQueueGauge() {
+	if mv.gQueueLen != nil {
+		*mv.gQueueLen = uint64(mv.QueueLen())
+	}
+}
+
+// burstCap bounds the unspent token pool: two windows of budget, but
+// never less than one huge page so a sub-2MB budget can still move
+// huge pages by saving across windows.
+func (mv *Mover) burstCap() uint64 {
+	cap := 2 * mv.cfg.BytesPerWindow
+	if cap < tier.HugePageSize {
+		cap = tier.HugePageSize
+	}
+	return cap
+}
+
+// accrue grants whole-window budget for the virtual time elapsed since
+// the last call, carrying the sub-window remainder, and returns tokens
+// to their burst-capped level. The first call grants one full window
+// so a freshly built machine can move immediately.
+func (mv *Mover) accrue(now uint64) {
+	if !mv.started {
+		mv.started = true
+		mv.lastNS = now
+		mv.grant(mv.cfg.BytesPerWindow)
+		return
+	}
+	if now <= mv.lastNS {
+		return
+	}
+	mv.accNS += now - mv.lastNS
+	mv.lastNS = now
+	if whole := mv.accNS / mv.cfg.WindowNS; whole > 0 {
+		mv.accNS -= whole * mv.cfg.WindowNS
+		// Saturate rather than overflow on huge idle gaps; the burst
+		// cap clips the granted amount right after.
+		grant := whole * mv.cfg.BytesPerWindow
+		if whole != 0 && grant/whole != mv.cfg.BytesPerWindow {
+			grant = mv.burstCap()
+		}
+		mv.grant(grant)
+	}
+}
+
+// grant adds budget, clipping at the burst cap; only the clipped
+// amount counts as granted so MovedBytes+WastedBytes <= GrantedBytes
+// stays exact.
+func (mv *Mover) grant(bytes uint64) {
+	room := mv.burstCap() - mv.tokens
+	if bytes > room {
+		bytes = room
+	}
+	mv.tokens += bytes
+	mv.stats.GrantedBytes += bytes
+	bump(mv.ctrGranted, bytes)
+}
+
+// Advance runs the mover up to virtual time now: accrues budget,
+// defers inside throttle windows, and executes queued tasks in FIFO
+// order while the budget lasts. It returns the virtual nanoseconds of
+// copy work performed, which the machine charges as background daemon
+// time (never to the application's critical path).
+func (mv *Mover) Advance(now uint64) (spentNS uint64) {
+	if mv == nil {
+		return 0
+	}
+	mv.accrue(now)
+	if mv.QueueLen() == 0 {
+		return 0
+	}
+	if mv.faults.ThrottleActive(now) {
+		// The link is throttled: hold queued work for the window's end
+		// rather than paying the inflated copy cost (budget keeps
+		// accruing, bounded by the burst cap).
+		mv.stats.Deferred++
+		bump(mv.ctrDeferred, 1)
+		return 0
+	}
+	for mv.head < len(mv.queue) {
+		t := &mv.queue[mv.head]
+		if t.pg.dead || t.pg.Tier != t.src || t.pg.Tier == t.dst {
+			mv.stats.Stale++
+			bump(mv.ctrStale, 1)
+			mv.head++
+			continue
+		}
+		bytes := t.pg.Bytes()
+		if bytes > mv.tokens {
+			break // out of budget; resume next window
+		}
+		ns, st := t.as.MigrateTx(t.pg, t.dst)
+		spentNS += ns
+		switch st {
+		case MigrateOK:
+			mv.tokens -= bytes
+			mv.stats.Moved++
+			mv.stats.MovedBytes += bytes
+			bump(mv.ctrMoved, 1)
+			bump(mv.ctrMovedBytes, bytes)
+			mv.head++
+		case MigrateAborted:
+			// The wasted copy consumed real bandwidth; charge it to the
+			// budget and retry within the fault plan's bound.
+			mv.tokens -= bytes
+			mv.stats.WastedBytes += bytes
+			mv.stats.Aborted++
+			bump(mv.ctrWasted, bytes)
+			bump(mv.ctrAborted, 1)
+			t.attempts++
+			if t.attempts > mv.faults.MaxRetries() {
+				mv.stats.Dropped++
+				bump(mv.ctrDropped, 1)
+				mv.head++
+			}
+		case MigrateNoSpace:
+			mv.stats.NoSpace++
+			bump(mv.ctrNoSpace, 1)
+			mv.head++
+		case MigrateDenied:
+			mv.stats.Denied++
+			bump(mv.ctrDenied, 1)
+			mv.head++
+		}
+	}
+	// Compact the drained prefix once it dominates the slice.
+	if mv.head > 64 && mv.head*2 > len(mv.queue) {
+		n := copy(mv.queue, mv.queue[mv.head:])
+		mv.queue = mv.queue[:n]
+		mv.head = 0
+	}
+	mv.stats.SpentNS += spentNS
+	mv.updateQueueGauge()
+	return spentNS
+}

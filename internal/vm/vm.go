@@ -191,12 +191,24 @@ func (s *Stats) Add(o Stats) {
 	s.ReclaimedFrames += o.ReclaimedFrames
 }
 
-// AddressSpace is one process's virtual memory image over a two-tier
+// AddressSpace is one process's virtual memory image over a tiered
 // machine. Virtual addresses are dense base-page numbers handed out by
 // a bump allocator; the page table is a flat slice for O(1) translation.
 type AddressSpace struct {
+	// Fast and Cap alias the first and last tier of the chain — the
+	// endpoints every two-tier policy knows by name. On deeper chains
+	// the full ordering lives in tiers; use TierAt/TierCount.
 	Fast *tier.Tier
 	Cap  *tier.Tier
+
+	// tiers is the full chain, fastest first. Always non-empty;
+	// tiers[0] == Fast and tiers[len-1] == Cap.
+	tiers []*tier.Tier
+	// hopBase/hopHuge are the per-hop migration copy costs
+	// (len(tiers)-1 entries); nil means the historical flat
+	// MigrateBaseNS/MigrateHugeNS charge per hop.
+	hopBase []uint64
+	hopHuge []uint64
 
 	table   []*Page
 	hugeOK  []bool // per 2MB block: fully covered by one reservation
@@ -240,9 +252,12 @@ type AddressSpace struct {
 	Owners []*AddressSpace
 
 	// MigrateVeto, when set, may deny a tier-changing operation before
-	// any frame is reserved or cost charged. It receives a page of the
-	// affected range (for owner identity), the destination tier, and
-	// the number of 4KB units that would change tier. A false return
+	// any frame is reserved or cost charged. It is consulted only for
+	// moves that change fast-tier residency (dst or src is tier 0 —
+	// on a two-tier machine, every migration); hops between lower
+	// tiers are QoS-neutral. It receives a page of the affected range
+	// (for owner identity), the destination tier, and the number of
+	// 4KB units that would change tier. A false return
 	// turns MigrateTx into MigrateDenied and makes Collapse fail
 	// without side effects. This is the QoS arbitration hook: floors
 	// and weighted shares (DESIGN.md §10) are enforced here, below
@@ -268,7 +283,64 @@ type AddressSpace struct {
 
 // NewAddressSpace creates an address space over the two tiers.
 func NewAddressSpace(fast, cap *tier.Tier, thp bool) *AddressSpace {
-	return &AddressSpace{Fast: fast, Cap: cap, THP: thp}
+	return &AddressSpace{Fast: fast, Cap: cap, tiers: []*tier.Tier{fast, cap}, THP: thp}
+}
+
+// NewAddressSpaceTiers creates an address space over an N-deep tier
+// chain (fastest first; at least two tiers). topo, when non-nil,
+// supplies the per-hop migration cost model; nil keeps the historical
+// flat per-hop charge.
+func NewAddressSpaceTiers(tiers []*tier.Tier, topo *tier.Topology, thp bool) *AddressSpace {
+	if len(tiers) < 2 {
+		panic("vm: address space needs at least two tiers")
+	}
+	as := &AddressSpace{
+		Fast:  tiers[0],
+		Cap:   tiers[len(tiers)-1],
+		tiers: tiers,
+		THP:   thp,
+	}
+	if topo != nil {
+		if topo.Depth() != len(tiers) {
+			panic("vm: topology depth does not match tier chain")
+		}
+		as.hopBase, as.hopHuge = topo.HopCosts()
+	}
+	return as
+}
+
+// TierCount returns the depth of the space's tier chain.
+func (as *AddressSpace) TierCount() int { return len(as.tiers) }
+
+// TierAt returns the tier at chain position id (0 = fastest).
+func (as *AddressSpace) TierAt(id tier.ID) *tier.Tier { return as.tiers[id] }
+
+// LastTier returns the ID of the deepest tier of the chain.
+func (as *AddressSpace) LastTier() tier.ID { return tier.ID(len(as.tiers) - 1) }
+
+// HopCostNS returns the migration copy cost of moving one page of the
+// given size from src to dst: the sum of the per-hop costs of every
+// hop crossed (adjacent tiers cross one). It is the unthrottled cost;
+// MigrateTx applies the fault plan's window factor on top.
+func (as *AddressSpace) HopCostNS(src, dst tier.ID, huge bool) uint64 {
+	lo, hi := src, dst
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var ns uint64
+	for h := lo; h < hi; h++ {
+		switch {
+		case as.hopBase == nil && huge:
+			ns += MigrateHugeNS
+		case as.hopBase == nil:
+			ns += MigrateBaseNS
+		case huge:
+			ns += as.hopHuge[h]
+		default:
+			ns += as.hopBase[h]
+		}
+	}
+	return ns
 }
 
 // SetPlacer installs the policy hook for initial page placement.
@@ -349,10 +421,7 @@ func (as *AddressSpace) Lookup(vpn uint64) *Page {
 
 // tierOf returns the tier object for id.
 func (as *AddressSpace) tierOf(id tier.ID) *tier.Tier {
-	if id == tier.FastTier {
-		return as.Fast
-	}
-	return as.Cap
+	return as.tiers[id]
 }
 
 // TouchResult describes the outcome of one memory access.
@@ -380,24 +449,24 @@ func (as *AddressSpace) hugeEligible(vpn uint64) bool {
 }
 
 // placeFor resolves the initial tier for a faulting page, falling back
-// to "fast while free, then capacity", and degrading huge allocations
-// that the chosen tier cannot satisfy.
+// to the first tier of the chain with room (fast while free, then down
+// the chain, the deepest tier as last resort), and degrading huge
+// allocations that the chosen tier cannot satisfy.
 func (as *AddressSpace) placeFor(huge bool, vpn uint64) tier.ID {
 	want := tier.NoTier
 	if as.placer != nil {
 		want = as.placer.PlaceNew(huge, vpn)
 	}
 	if want == tier.NoTier {
-		if huge {
-			if as.Fast.HasHugeFrame() {
-				return tier.FastTier
+		for id, t := range as.tiers[:len(as.tiers)-1] {
+			if huge && t.HasHugeFrame() {
+				return tier.ID(id)
 			}
-			return tier.CapacityTier
+			if !huge && t.FreeFrames() > 0 {
+				return tier.ID(id)
+			}
 		}
-		if as.Fast.FreeFrames() > 0 {
-			return tier.FastTier
-		}
-		return tier.CapacityTier
+		return as.LastTier()
 	}
 	return want
 }
@@ -462,14 +531,9 @@ func (as *AddressSpace) mapHuge(baseVPN uint64) *Page {
 	t := as.tierOf(id)
 	f, err := t.AllocHuge()
 	if err != nil {
-		// Fall back to the other tier, then to base pages.
-		other := tier.CapacityTier
-		if id == tier.CapacityTier {
-			other = tier.FastTier
-		}
-		if f2, err2 := as.tierOf(other).AllocHuge(); err2 == nil {
-			id, f = other, f2
-		} else {
+		// Fall back to the other tiers in chain order, then to base pages.
+		id, f, err = as.allocFallback(id, true)
+		if err != nil {
 			return as.mapBase(baseVPN)
 		}
 	}
@@ -490,15 +554,10 @@ func (as *AddressSpace) mapBase(vpn uint64) *Page {
 	t := as.tierOf(id)
 	f, err := t.AllocBase()
 	if err != nil {
-		other := tier.CapacityTier
-		if id == tier.CapacityTier {
-			other = tier.FastTier
-		}
-		f, err = as.tierOf(other).AllocBase()
+		id, f, err = as.allocFallback(id, false)
 		if err != nil {
-			panic("vm: both tiers out of memory")
+			panic("vm: all tiers out of memory")
 		}
-		id = other
 	}
 	pg := &Page{VPN: vpn, Kind: BasePage, Tier: id, Frame: f, Owner: as.Tenant}
 	as.table[vpn] = pg
@@ -508,6 +567,27 @@ func (as *AddressSpace) mapBase(vpn uint64) *Page {
 		as.fastUnits++
 	}
 	return pg
+}
+
+// allocFallback tries every tier other than failed in chain order
+// (fastest first) until one satisfies the allocation.
+func (as *AddressSpace) allocFallback(failed tier.ID, huge bool) (tier.ID, tier.Frame, error) {
+	for id := range as.tiers {
+		if tier.ID(id) == failed {
+			continue
+		}
+		var f tier.Frame
+		var err error
+		if huge {
+			f, err = as.tiers[id].AllocHuge()
+		} else {
+			f, err = as.tiers[id].AllocBase()
+		}
+		if err == nil {
+			return tier.ID(id), f, nil
+		}
+	}
+	return failed, 0, tier.ErrOutOfMemory
 }
 
 // CanMigrate reports whether dst currently has room for the page.
@@ -578,7 +658,8 @@ func (as *AddressSpace) MigrateTx(p *Page, dst tier.ID) (ns uint64, st MigrateSt
 	if p.dead || p.Tier == dst {
 		return 0, MigrateNoSpace
 	}
-	if as.MigrateVeto != nil && !as.MigrateVeto(p, dst, p.Units()) {
+	if as.MigrateVeto != nil && (dst == tier.FastTier || p.Tier == tier.FastTier) &&
+		!as.MigrateVeto(p, dst, p.Units()) {
 		return 0, MigrateDenied
 	}
 	src := as.tierOf(p.Tier)
@@ -587,13 +668,11 @@ func (as *AddressSpace) MigrateTx(p *Page, dst tier.ID) (ns uint64, st MigrateSt
 	// Reserve.
 	var nf tier.Frame
 	var err error
-	var copyNS uint64
+	copyNS := as.HopCostNS(p.Tier, dst, p.IsHuge())
 	if p.IsHuge() {
 		nf, err = dt.AllocHuge()
-		copyNS = MigrateHugeNS
 	} else {
 		nf, err = dt.AllocBase()
-		copyNS = MigrateBaseNS
 	}
 	if err != nil {
 		return 0, MigrateNoSpace
@@ -632,14 +711,19 @@ func (as *AddressSpace) MigrateTx(p *Page, dst tier.ID) (ns uint64, st MigrateSt
 	p.Frame = nf
 	ns = copyNS + ShootdownNS
 	ow := as.ownerOf(p)
-	if dst == tier.FastTier {
+	if dst < p.Tier {
 		as.stats.Promotions += p.Units()
-		ow.fastUnits += p.Units()
 		as.Trace.Emit(obs.EvPromotion, p.VPN, p.IsHuge(), p.Bytes(), ns)
 	} else {
 		as.stats.Demotions += p.Units()
-		ow.fastUnits -= p.Units()
 		as.Trace.Emit(obs.EvDemotion, p.VPN, p.IsHuge(), p.Bytes(), ns)
+	}
+	// Fast-tier residency only changes when the move crosses the top
+	// boundary; hops between lower tiers leave fastUnits untouched.
+	if dst == tier.FastTier {
+		ow.fastUnits += p.Units()
+	} else if p.Tier == tier.FastTier {
+		ow.fastUnits -= p.Units()
 	}
 	as.stats.Shootdowns++
 	as.Trace.Emit(obs.EvShootdown, p.VPN, p.IsHuge(), 0, 0)
@@ -822,7 +906,11 @@ func (p *Page) Dead() bool { return p.dead }
 
 // RSSFrames returns the resident set size in 4KB frames.
 func (as *AddressSpace) RSSFrames() uint64 {
-	return as.Fast.UsedFrames() + as.Cap.UsedFrames()
+	var n uint64
+	for _, t := range as.tiers {
+		n += t.UsedFrames()
+	}
+	return n
 }
 
 // RSSBytes returns the resident set size in bytes.
@@ -947,17 +1035,15 @@ func (p *Page) EnsureSubCount() {
 // production path.
 func (as *AddressSpace) Audit() error {
 	owner := make(map[tier.PhysAddr]uint64)
-	fastUnits, capUnits, err := as.auditMapped(owner)
+	units, err := as.auditMapped(owner)
 	if err != nil {
 		return err
 	}
-	if got := as.Fast.UsedFrames(); got != fastUnits {
-		return fmt.Errorf("vm: fast tier has %d frames allocated but %d mapped (lost or leaked)",
-			got, fastUnits)
-	}
-	if got := as.Cap.UsedFrames(); got != capUnits {
-		return fmt.Errorf("vm: capacity tier has %d frames allocated but %d mapped (lost or leaked)",
-			got, capUnits)
+	for id, t := range as.tiers {
+		if got := t.UsedFrames(); got != units[id] {
+			return fmt.Errorf("vm: %s tier has %d frames allocated but %d mapped (lost or leaked)",
+				tier.ID(id), got, units[id])
+		}
 	}
 	return nil
 }
@@ -967,39 +1053,36 @@ func (as *AddressSpace) Audit() error {
 // this space, no frame double-mapped — including against frames the
 // shared owner map already holds from sibling spaces — and the
 // incremental resident/fast unit counters exact) and returns the
-// mapped units per tier.
-func (as *AddressSpace) auditMapped(owner map[tier.PhysAddr]uint64) (fastUnits, capUnits uint64, err error) {
+// mapped units per tier (indexed by chain position).
+func (as *AddressSpace) auditMapped(owner map[tier.PhysAddr]uint64) ([]uint64, error) {
+	units := make([]uint64, len(as.tiers))
 	mapped := make(map[*Page]uint64)
 	for vpn, pg := range as.table {
 		if pg == nil {
 			continue
 		}
 		if pg.dead {
-			return 0, 0, fmt.Errorf("vm: dead page %d still mapped at vpn %d", pg.VPN, vpn)
+			return nil, fmt.Errorf("vm: dead page %d still mapped at vpn %d", pg.VPN, vpn)
 		}
 		off := uint64(vpn) - pg.VPN
 		if off >= pg.Units() {
-			return 0, 0, fmt.Errorf("vm: page %d (units %d) mapped out of range at vpn %d",
+			return nil, fmt.Errorf("vm: page %d (units %d) mapped out of range at vpn %d",
 				pg.VPN, pg.Units(), vpn)
 		}
 		if pg.Owner != as.Tenant {
-			return 0, 0, fmt.Errorf("vm: page %d owned by space %d but mapped in space %d",
+			return nil, fmt.Errorf("vm: page %d owned by space %d but mapped in space %d",
 				pg.VPN, pg.Owner, as.Tenant)
 		}
 		if mapped[pg] == 0 {
 			// First sighting: account frames and check uniqueness.
-			switch pg.Tier {
-			case tier.FastTier:
-				fastUnits += pg.Units()
-			case tier.CapacityTier:
-				capUnits += pg.Units()
-			default:
-				return 0, 0, fmt.Errorf("vm: page %d on tier %v", pg.VPN, pg.Tier)
+			if pg.Tier < 0 || int(pg.Tier) >= len(as.tiers) {
+				return nil, fmt.Errorf("vm: page %d on tier %v", pg.VPN, pg.Tier)
 			}
+			units[pg.Tier] += pg.Units()
 			for u := uint64(0); u < pg.Units(); u++ {
 				pa := tier.PhysAddr{Tier: pg.Tier, Frame: pg.Frame + tier.Frame(u)}
 				if prev, dup := owner[pa]; dup {
-					return 0, 0, fmt.Errorf("vm: frame %v double-mapped by pages %d and %d",
+					return nil, fmt.Errorf("vm: frame %v double-mapped by pages %d and %d",
 						pa, prev, pg.VPN)
 				}
 				owner[pa] = pg.VPN
@@ -1009,44 +1092,58 @@ func (as *AddressSpace) auditMapped(owner map[tier.PhysAddr]uint64) (fastUnits, 
 	}
 	for pg, n := range mapped {
 		if n != pg.Units() {
-			return 0, 0, fmt.Errorf("vm: page %d maps %d of its %d slots", pg.VPN, n, pg.Units())
+			return nil, fmt.Errorf("vm: page %d maps %d of its %d slots", pg.VPN, n, pg.Units())
 		}
 	}
-	if got := fastUnits + capUnits; got != as.residentUnits {
-		return 0, 0, fmt.Errorf("vm: space %d counts %d resident units but %d are mapped",
-			as.Tenant, as.residentUnits, got)
+	var total uint64
+	for _, u := range units {
+		total += u
 	}
-	if fastUnits != as.fastUnits {
-		return 0, 0, fmt.Errorf("vm: space %d counts %d fast units but %d are mapped fast",
-			as.Tenant, as.fastUnits, fastUnits)
+	if total != as.residentUnits {
+		return nil, fmt.Errorf("vm: space %d counts %d resident units but %d are mapped",
+			as.Tenant, as.residentUnits, total)
 	}
-	return fastUnits, capUnits, nil
+	if units[tier.FastTier] != as.fastUnits {
+		return nil, fmt.Errorf("vm: space %d counts %d fast units but %d are mapped fast",
+			as.Tenant, as.fastUnits, units[tier.FastTier])
+	}
+	return units, nil
 }
 
 // AuditShared verifies the frame-accounting invariants of several
 // address spaces sharing one tier pair: each space individually clean,
 // no frame mapped by two spaces, and the tiers' allocated-frame counts
 // equal to the sum of all spaces' live mappings. This is the
-// multi-tenant Audit — per-space Audit cannot compare against the
-// shared tier counters.
+// multi-tenant Audit over the historical two-tier machine; deeper
+// chains use AuditSharedTiers.
 func AuditShared(fast, cap *tier.Tier, spaces []*AddressSpace) error {
+	return AuditSharedTiers([]*tier.Tier{fast, cap}, spaces)
+}
+
+// AuditSharedTiers is AuditShared over an N-deep tier chain: each
+// space individually clean, no frame mapped by two spaces, and every
+// tier's allocated-frame count equal to the sum of all spaces' live
+// mappings on it — no page lost across any hop.
+func AuditSharedTiers(tiers []*tier.Tier, spaces []*AddressSpace) error {
 	owner := make(map[tier.PhysAddr]uint64)
-	var fastUnits, capUnits uint64
+	units := make([]uint64, len(tiers))
 	for _, as := range spaces {
-		f, c, err := as.auditMapped(owner)
+		us, err := as.auditMapped(owner)
 		if err != nil {
 			return fmt.Errorf("space %d: %w", as.Tenant, err)
 		}
-		fastUnits += f
-		capUnits += c
+		if len(us) != len(tiers) {
+			return fmt.Errorf("space %d: %d tiers in chain, audit expects %d", as.Tenant, len(us), len(tiers))
+		}
+		for i, u := range us {
+			units[i] += u
+		}
 	}
-	if got := fast.UsedFrames(); got != fastUnits {
-		return fmt.Errorf("vm: fast tier has %d frames allocated but %d mapped across %d spaces",
-			got, fastUnits, len(spaces))
-	}
-	if got := cap.UsedFrames(); got != capUnits {
-		return fmt.Errorf("vm: capacity tier has %d frames allocated but %d mapped across %d spaces",
-			got, capUnits, len(spaces))
+	for id, t := range tiers {
+		if got := t.UsedFrames(); got != units[id] {
+			return fmt.Errorf("vm: %s tier has %d frames allocated but %d mapped across %d spaces",
+				tier.ID(id), got, units[id], len(spaces))
+		}
 	}
 	return nil
 }
