@@ -35,12 +35,14 @@ docs:
 	$(GO) run ./cmd/doclint -md README.md DESIGN.md EXPERIMENTS.md docs
 
 # Race smoke: the parallel-runner determinism regression, the
-# per-machine shared-state audit, the codec/dist suites, and the
+# per-machine shared-state audit, the VPN-sharded machine's
+# seq≡parallel byte-identity (its private-state-per-worker claim is
+# exactly what -race checks), the codec/dist suites, and the
 # multi-tenant baton scheduler (whole package: its strict-handoff
 # design claims exactly one runnable goroutine, which -race checks),
 # all with CI-sized budgets.
 race:
-	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestEventTraceGolden|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing|TestScenarioMatrixDeterminism|TestTenantTraceDeterminism' ./internal/bench ./internal/sim
+	$(GO) test -race -run 'TestRunMatrixDeterminism|TestRunnerCancellation|TestRunnerProgress|TestEventTraceGolden|TestMachinesAreIndependent|TestDistinctPoliciesShareNothing|TestScenarioMatrixDeterminism|TestTenantTraceDeterminism|TestShardedSeqParallelIdentical|TestShardedOneShardMatchesMachine' ./internal/bench ./internal/sim
 	$(GO) test -race -run 'TestSharedRunnerParallelDeterminism' ./internal/scenario
 	$(GO) test -race ./internal/trace ./internal/dist ./internal/obs ./internal/tenant
 

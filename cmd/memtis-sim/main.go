@@ -30,12 +30,18 @@
 //	memtis-sim -workload silo -policy memtis -tenants 4 -tenant-skew 8to1
 //	memtis-sim -workload btree -tenants 8 -tenant-churn 0.5 -tenant-floor 8388608
 //	memtis-sim -scenario examples/scenarios/tenants.json -policy memtis
+//	memtis-sim -workload silo -policy memtis -shards 8
 //	memtis-sim -list
 //
 // Multi-tenancy (-tenants N, or a spec file with a "tenants" section)
 // runs N contending address spaces under one policy daemon with
 // fairness/QoS arbitration (weights, fast-tier floors, churn); the
 // result gains a per-tenant accounting table. See DESIGN.md §10.
+//
+// Sharded parallel simulation (-shards S) splits the address space
+// across S worker goroutines by 2MB block and drives a synthetic Zipf
+// stream over the named workload's footprint; the aggregate result is
+// followed by a per-shard table. See DESIGN.md §12.
 package main
 
 import (
@@ -86,6 +92,7 @@ func main() {
 		tSkew    = flag.String("tenant-skew", "flat", "tenant promotion-weight skew: flat, or 8to1 (tenant 0 gets 8x weight)")
 		tChurn   = flag.Float64("tenant-churn", 0, "fraction of tenants after the first that spawn at 10% and exit at 70% of the run")
 		tFloor   = flag.Uint64("tenant-floor", 0, "guaranteed fast-tier bytes for tenant 0 (QoS floor)")
+		shards   = flag.Int("shards", 1, "split the machine across N VPN-sharded worker goroutines and drive a synthetic zipf stream over -workload's footprint (single-run mode only)")
 	)
 	flag.Parse()
 
@@ -208,11 +215,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-depth needs a single-tenant -workload run to derive tier sizes from; use -topology with -tenants")
 			os.Exit(2)
 		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "-shards and -tenants conflict: shards partition one space, tenants are separate spaces")
+			os.Exit(2)
+		}
 		runTenantsMode(cfg, *wname, *pname, *ratio, *tenants, *tSkew, *tChurn, *tFloor, *traceOut, *baseline)
 		return
 	}
 
 	r := parseRatio(*ratio)
+
+	if *shards > 1 {
+		switch {
+		case *depth != 0 || cfg.Topology != nil:
+			fmt.Fprintln(os.Stderr, "-shards supports the two-tier machine only; drop -depth/-topology")
+			os.Exit(2)
+		case *traceOut != "" || *series != "":
+			fmt.Fprintln(os.Stderr, "-shards has no trace/series output yet: each shard has a private clock")
+			os.Exit(2)
+		case *baseline:
+			fmt.Fprintln(os.Stderr, "-baseline compares real workload runs; the sharded stream is synthetic — drop one of the flags")
+			os.Exit(2)
+		}
+		runShardedMode(cfg, *wname, *pname, r, *shards)
+		return
+	}
 
 	// Validate names up front: a typo is a usage error, not a panic.
 	knownW := false
@@ -320,6 +347,32 @@ func runTenantsMode(cfg bench.Config, wname, pname, ratio string, n int, skew st
 	if baseline {
 		b := bench.RunTenants(tn, rss, "all-capacity", r, cfg)
 		fmt.Printf("normalized perf %.3f (vs all-%s)\n", bench.Norm(res, b), cfg.CapKind)
+	}
+}
+
+// runShardedMode is the -shards S path: the named workload's footprint
+// drives a synthetic Zipf stream over an S-shard machine (DESIGN.md
+// §12); the aggregate result block is followed by a per-shard table.
+func runShardedMode(cfg bench.Config, wname, pname string, r bench.Ratio, shards int) {
+	if !bench.KnownPolicy(pname) {
+		fmt.Fprintf(os.Stderr, "unknown policy %q (see -list)\n", pname)
+		os.Exit(2)
+	}
+	w, err := workload.New(wname)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (see -list)\n", wname)
+		os.Exit(2)
+	}
+	sr := bench.RunSharded(pname, shards, w.Spec().RSSBytes(), r, cfg)
+	fmt.Printf("workload        %s (synthetic zipf over %s footprint, %d shards)\n",
+		sr.Aggregate.Workload, wname, shards)
+	printResult(sr.Aggregate, r.Name, cfg, cfg.Faults.Enabled())
+	fmt.Printf("per-shard       %-6s %12s %10s %10s %10s %12s\n",
+		"shard", "accesses", "fast-hit", "promo", "demo", "virtual ms")
+	for i, res := range sr.Shards {
+		fmt.Printf("                s%-5d %12d %9.2f%% %10d %10d %12.3f\n",
+			i, res.Accesses, res.FastHitRatio*100, res.VM.Promotions, res.VM.Demotions,
+			float64(res.AppNS)/1e6)
 	}
 }
 

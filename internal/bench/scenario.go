@@ -188,13 +188,35 @@ func HuntParams(seed uint64) (string, Ratio) {
 	return pol, rt
 }
 
+// HuntShape derives the seed's machine-shape extensions: the hierarchy
+// depth (2 keeps the classic two-tier pair; 3 and 4 insert derived
+// intermediate tiers), whether benefit admission gates migrations, and
+// whether the rate-limited background mover is on. Like HuntParams it
+// is a pure function of the seed, so the fuzzer sweeps the deep-
+// hierarchy and mover/admission surfaces with no extra inputs and a CI
+// failure still reproduces from the seed alone.
+func HuntShape(seed uint64) (depth int, admission, mover bool) {
+	h := splitmix64(seed ^ fnv1a("hunt-shape"))
+	depth = 2 + int(h%3)
+	h = splitmix64(h)
+	admission = h%2 == 1
+	h = splitmix64(h)
+	mover = h%2 == 1
+	return depth, admission, mover
+}
+
 // HuntResult is one scenario-fuzz iteration's outcome.
 type HuntResult struct {
 	Seed   uint64
 	Policy string
 	Ratio  Ratio
-	Spec   scenario.Spec
-	Result sim.Result
+	// Depth, Admission and Mover record the seed's machine shape (see
+	// HuntShape).
+	Depth     int
+	Admission bool
+	Mover     bool
+	Spec      scenario.Spec
+	Result    sim.Result
 	// Violations lists the conformance-contract breaches the probe saw
 	// (empty for a passing iteration); each line carries the seed.
 	Violations []string
@@ -223,14 +245,39 @@ func HuntScenario(seed uint64, accesses uint64, reproDir string) (HuntResult, er
 		accesses = 100_000
 	}
 	pol, rt := HuntParams(seed)
+	depth, admit, mover := HuntShape(seed)
 	cfg := DefaultConfig()
 	cfg.Accesses = accesses
 	cfg.Seed = int64(splitmix64(seed ^ fnv1a("hunt-machine")))
-	out := HuntResult{Seed: seed, Policy: pol, Ratio: rt, Spec: scenario.Generate(seed)}
+	if admit {
+		adm, err := tier.ParseAdmission("benefit")
+		if err != nil {
+			return HuntResult{}, fmt.Errorf("bench: hunt admission: %w", err)
+		}
+		cfg.Admission = adm
+	}
+	if mover {
+		mc, err := tier.ParseMoverSpec("8m/1ms")
+		if err != nil {
+			return HuntResult{}, fmt.Errorf("bench: hunt mover: %w", err)
+		}
+		cfg.Mover = mc
+	}
+	out := HuntResult{Seed: seed, Policy: pol, Ratio: rt,
+		Depth: depth, Admission: admit, Mover: mover, Spec: scenario.Generate(seed)}
 	run := func(spec scenario.Spec) ([]string, sim.Result, error) {
 		sc, err := scenario.Compile(spec, scenario.Options{})
 		if err != nil {
 			return nil, sim.Result{}, err
+		}
+		if depth > 2 {
+			// Derived per-candidate: shrinking can change the RSS the
+			// intermediate tier sizes come from.
+			topo, err := TopologyForDepth(sc.RSSBytes(), rt, depth, cfg.CapKind)
+			if err != nil {
+				return nil, sim.Result{}, err
+			}
+			cfg.Topology = topo
 		}
 		mc := ScenarioMachine(sc, rt, cfg)
 		probe := scenario.NewProbe(NewPolicy(pol), seed, sc.FaultConfig())
@@ -265,8 +312,8 @@ func HuntScenario(seed uint64, accesses uint64, reproDir string) (HuntResult, er
 		v, _, err := run(cand)
 		return err == nil && len(v) > 0
 	})
-	out.Minimal.Note = fmt.Sprintf("seed=%#x policy=%s ratio=%s accesses=%d: %s",
-		seed, pol, rt.Name, accesses, out.Violations[0])
+	out.Minimal.Note = fmt.Sprintf("seed=%#x policy=%s ratio=%s depth=%d admission=%t mover=%t accesses=%d: %s",
+		seed, pol, rt.Name, depth, admit, mover, accesses, out.Violations[0])
 	if reproDir != "" {
 		if err := os.MkdirAll(reproDir, 0o755); err != nil {
 			return out, fmt.Errorf("bench: hunt repro dir: %w", err)

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	memtis "memtis/internal/core"
+	"memtis/internal/obs"
+	"memtis/internal/pebs"
+	"memtis/internal/sim"
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+	"memtis/internal/workload"
+)
+
+// The page-store equivalence suite pins the struct-of-arrays migration
+// of internal/vm (DESIGN.md §12): the golden hashes in
+// testdata/store_equiv.json were generated from the historical
+// pointer-linked vm.Page layout, and every later representation of the
+// page store must reproduce them bit for bit — same event traces, same
+// counters, same end-state stats — across seeds and across workloads
+// that exercise every structural mutation of the table (demand faults,
+// promotion/demotion, huge-page split, collapse, region churn, and
+// fault-aborted migration transactions).
+//
+// Regenerate with STORE_EQUIV_REWRITE=1 only when a change is *meant*
+// to alter simulation behaviour; a layout-only change must never need
+// it.
+
+// storeEquivCell is one golden entry.
+type storeEquivCell struct {
+	TraceSHA    string `json:"trace_sha"`
+	CountersSHA string `json:"counters_sha"`
+	Accesses    uint64 `json:"accesses"`
+	AppNS       uint64 `json:"app_ns"`
+	Splits      uint64 `json:"splits"`
+	Collapses   uint64 `json:"collapses"`
+	Migrations  uint64 `json:"migrations_4k"`
+	Aborts      uint64 `json:"migrate_aborts"`
+	RSSFinal    uint64 `json:"rss_final"`
+}
+
+// churnWorkload drives every structural page-table mutation in one
+// deterministic stream: a THP region (huge pages, split candidates), a
+// base-page arena of small reservations (collapse candidates), skewed
+// steady-state access over both, and periodic free-and-reallocate
+// churn of a side region.
+type churnWorkload struct{ seed int64 }
+
+func (c churnWorkload) Name() string { return "store-churn" }
+
+func (c churnWorkload) Run(m *sim.Machine, accesses uint64) {
+	big := m.Reserve(24 << 20) // THP-backed: 12 huge pages
+	var smalls []vm.Region
+	for i := 0; i < 8; i++ {
+		smalls = append(smalls, m.Reserve(512<<10)) // base pages
+	}
+	churn := m.Reserve(2 << 20)
+	// First-touch init: write every base VPN of the big region so every
+	// subpage is marked touched (splits then keep all 512 survivors and
+	// a later collapse can find a fully-present block), then the small
+	// arena.
+	for vpn := big.BaseVPN; vpn < big.BaseVPN+big.Pages && m.Accesses() < accesses; vpn++ {
+		m.Access(vpn, true)
+	}
+	for _, r := range smalls {
+		for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages && m.Accesses() < accesses; vpn++ {
+			m.Access(vpn, true)
+		}
+	}
+	// Steady phase one: heavily skewed subpage access — each huge page
+	// has 8 hot subpages — which is exactly the §4.3 split trigger
+	// (high concentration, low utilization), plus small-arena and churn
+	// traffic. Phase two (last 40% of the budget) hammers one 2MB block
+	// uniformly so its split remnants all turn hot and collapse.
+	hammer := big.BaseVPN + 5*512
+	x := uint64(c.seed)*2862933555777941757 + 3037000493
+	i := 0
+	for m.Accesses() < accesses {
+		x = x*2862933555777941757 + 3037000493
+		r := x >> 33
+		var vpn uint64
+		switch {
+		case m.Accesses() > accesses*3/5 && r%4 != 0:
+			vpn = hammer + (r>>4)%512
+		case r%8 < 5: // skewed: huge page (r>>3)%12, subpage (r>>8)%8
+			vpn = big.BaseVPN + ((r>>3)%12)*512 + ((r>>8)%8)*61
+		case r%8 < 7: // small arena
+			s := smalls[(r>>3)%uint64(len(smalls))]
+			vpn = s.BaseVPN + (r>>9)%s.Pages
+		default: // churn region
+			vpn = churn.BaseVPN + (r>>3)%churn.Pages
+		}
+		m.Access(vpn, r%5 == 0)
+		i++
+		if i%50000 == 0 {
+			m.FreeRegion(churn)
+			churn = m.Reserve(2 << 20)
+		}
+	}
+}
+
+// runStoreEquivCell executes one cell and returns its golden entry.
+func runStoreEquivCell(name string, seed int64, faults bool) storeEquivCell {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	var w sim.Workload
+	fastBytes, capBytes := uint64(8<<20), uint64(64<<20)
+	if name == "silo" {
+		sw := workload.MustNew("silo")
+		rss := sw.Spec().RSSBytes()
+		fastBytes, capBytes = rss/9, rss+rss/4+16*tier.HugePageSize
+		w = sw
+	} else {
+		w = churnWorkload{seed: seed}
+	}
+	cfg := sim.Config{
+		FastBytes: fastBytes,
+		CapBytes:  capBytes,
+		CapKind:   tier.NVM,
+		THP:       true,
+		Seed:      seed,
+		RecordNS:  2_000_000,
+		Trace:     obs.NewTracer(sink),
+	}
+	if faults {
+		cfg.Faults = tier.FaultConfig{MigrateFailPpm: 50_000, MaxRetries: 2}
+	}
+	// Dense fixed-period sampling plus a long cooling interval: at the
+	// suite's compressed scale the default self-adjusting sampler is too
+	// sparse for a hammered 2MB block to hold all 512 subpages hot
+	// across a cooling epoch (coupon-collector: some subpage always
+	// cools to bin 0), which would leave the collapse path permanently
+	// unexercised.
+	smp := pebs.DefaultConfig()
+	smp.LoadPeriod, smp.MinPeriod, smp.MaxPeriod = 8, 8, 8
+	pol := memtis.New(memtis.Config{Sampler: smp, CoolEvery: 12_000})
+	m := sim.NewMachine(cfg, pol)
+	w.Run(m, 400_000)
+	res := m.Finish(w.Name())
+	if err := sink.Flush(); err != nil {
+		panic(err)
+	}
+	ts := sha256.Sum256(buf.Bytes())
+	var cb bytes.Buffer
+	for _, c := range res.Counters {
+		fmt.Fprintf(&cb, "%s=%d\n", c.Name, c.Value)
+	}
+	cs := sha256.Sum256(cb.Bytes())
+	return storeEquivCell{
+		TraceSHA:    hex.EncodeToString(ts[:]),
+		CountersSHA: hex.EncodeToString(cs[:]),
+		Accesses:    res.Accesses,
+		AppNS:       res.AppNS,
+		Splits:      res.VM.Splits,
+		Collapses:   res.VM.Collapses,
+		Migrations:  res.VM.Migrations4K,
+		Aborts:      res.VM.MigrateAborts,
+		RSSFinal:    res.RSSFinal,
+	}
+}
+
+// storeEquivCells enumerates the golden cells: 5 seeds of the churn
+// workload, plus silo (the Table 2 split-heavy model) and a
+// fault-injected churn cell covering the abort/rollback paths.
+func storeEquivCells() map[string]func() storeEquivCell {
+	cells := map[string]func() storeEquivCell{}
+	for s := int64(42); s < 47; s++ {
+		seed := s
+		cells[fmt.Sprintf("churn_seed%d", seed)] = func() storeEquivCell {
+			return runStoreEquivCell("churn", seed, false)
+		}
+	}
+	cells["silo_seed42"] = func() storeEquivCell { return runStoreEquivCell("silo", 42, false) }
+	cells["churn_faults_seed42"] = func() storeEquivCell { return runStoreEquivCell("churn", 42, true) }
+	return cells
+}
+
+// TestPageStoreEquivalence drives the equivalence cells and compares
+// against the pointer-layout goldens.
+func TestPageStoreEquivalence(t *testing.T) {
+	path := filepath.Join("testdata", "store_equiv.json")
+	cells := storeEquivCells()
+	if os.Getenv("STORE_EQUIV_REWRITE") != "" {
+		out := map[string]storeEquivCell{}
+		for name, run := range cells {
+			out[name] = run()
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cells", path, len(out))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (%v); regenerate with STORE_EQUIV_REWRITE=1", err)
+	}
+	want := map[string]storeEquivCell{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cells) {
+		t.Fatalf("golden has %d cells, suite has %d", len(want), len(cells))
+	}
+	// Coverage floor: the suite is only meaningful if the cells really
+	// exercise the structural mutations it claims to pin.
+	var tot storeEquivCell
+	for name, run := range cells {
+		got := run()
+		w, ok := want[name]
+		if !ok {
+			t.Fatalf("cell %s missing from golden", name)
+		}
+		if got != w {
+			t.Errorf("cell %s diverged from the pointer-layout golden:\n got %+v\nwant %+v", name, got, w)
+		}
+		tot.Splits += got.Splits
+		tot.Collapses += got.Collapses
+		tot.Migrations += got.Migrations
+		tot.Aborts += got.Aborts
+	}
+	if tot.Splits == 0 || tot.Collapses == 0 || tot.Migrations == 0 || tot.Aborts == 0 {
+		t.Fatalf("suite lost structural coverage: %+v", tot)
+	}
+}

@@ -2,7 +2,15 @@
 // per-access observer check and the veto layer all sit on the hot
 // loop, so per-access cost at 64 and 1024 tenants is measured against
 // the single-tenant run and gated in CI (64 tenants must stay within
-// 1.3x of one).
+// 1.5x of one).
+//
+// Gate history: the bound was 1.3x while the single-tenant access path
+// cost ~52ns. The packed-pte page store cut the shared base cost to
+// ~45ns without changing the tenant-specific overheads (64-tenant cost
+// is cache-pressure-bound across 64 page tables and was ~60ns before
+// and after), which widened the ratio to ~1.35x; the bound was
+// recalibrated to 1.5x to keep the same absolute headroom over the
+// scheduler overhead it actually guards.
 package bench
 
 import (
@@ -71,8 +79,8 @@ func TestTenantAccessOverheadGate(t *testing.T) {
 	one := measure(1)
 	many := measure(64)
 	t.Logf("per-access: 1 tenant %.1fns, 64 tenants %.1fns (%.2fx)", one, many, many/one)
-	if many > one*1.3 {
-		t.Fatalf("64-tenant per-access cost %.1fns is %.2fx single-tenant (%.1fns); gate is 1.3x",
+	if many > one*1.5 {
+		t.Fatalf("64-tenant per-access cost %.1fns is %.2fx single-tenant (%.1fns); gate is 1.5x",
 			many, many/one, one)
 	}
 }

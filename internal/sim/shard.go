@@ -1,0 +1,382 @@
+// VPN-sharded parallel simulation (DESIGN.md §12). A Sharded machine
+// splits the simulated address space across S independent Machines by
+// 2MB block and runs them on worker goroutines, merging deterministically
+// at explicit barriers. Determinism argument: each shard's machine,
+// policy, tracer and RNGs are private to exactly one worker goroutine,
+// and every op reaches its shard in global issue order (the per-shard
+// pending buffer preserves it, and chunks travel to the worker through
+// a FIFO channel). A shard's execution is therefore a pure function of
+// its op subsequence, independent of goroutine interleaving — so
+// parallel runs are byte-identical to the Sequential reference mode,
+// which applies the same subsequences inline.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"memtis/internal/obs"
+	"memtis/internal/tier"
+	"memtis/internal/vm"
+)
+
+// ShardedConfig describes a sharded machine. Machine is the aggregate
+// configuration: FastBytes and CapBytes are divided across shards
+// (rounded up to 2MB multiples per shard), and per-shard seeds are
+// derived from Machine.Seed, so each shard gets an independent fault
+// plan exactly as matrix cells do. Machine.Trace must be nil; tracing
+// is per-shard via TraceFor because a tracer's clock binds to exactly
+// one machine. Topology is not supported (two-tier machines only).
+type ShardedConfig struct {
+	// Shards is the shard count S; values < 1 mean 1.
+	Shards int
+	// Machine is the aggregate machine configuration (see above).
+	Machine Config
+	// PolicyFor, when non-nil, supplies each shard's private policy
+	// instance. It must return a fresh policy per call — shards tick
+	// and migrate concurrently.
+	PolicyFor func(shard int) Policy
+	// TraceFor, when non-nil, supplies each shard's private tracer.
+	TraceFor func(shard int) *obs.Tracer
+	// Sequential applies every op inline on the caller's goroutine, in
+	// shard order at each barrier. It is the determinism reference:
+	// parallel runs must produce byte-identical per-shard traces.
+	Sequential bool
+}
+
+// Ops are packed one per uint64 with the kind in the low two bits so a
+// lane buffer is a flat word stream (8 bytes per access, not a struct):
+// read and write carry the shard-local VPN in the upper bits; reserve
+// and free are marker words followed by two raw operand words
+// (bytes + expected local base, and local base + pages, respectively).
+const (
+	opRead uint64 = iota
+	opWrite
+	opReserve
+	opFree
+)
+
+// shardChunk is the dispatch threshold: a lane whose pending buffer
+// reaches it hands the chunk to its worker (pipelined, no barrier),
+// bounding buffer growth and inter-shard skew between barriers.
+const shardChunk = 8192
+
+type shardLane struct {
+	m *Machine
+	// pending is the buffer being filled; spare is the recycled buffer
+	// from the last acked chunk. The two double-buffer: the driver
+	// fills one while the worker drains the other.
+	pending  []uint64
+	spare    []uint64
+	work     chan []uint64
+	ack      chan []uint64
+	done     chan struct{}
+	inflight bool
+	blocks   uint64 // 2MB blocks reserved on this shard so far
+}
+
+func (l *shardLane) run() {
+	defer close(l.done)
+	for ops := range l.work {
+		l.apply(ops)
+		l.ack <- ops
+	}
+}
+
+// apply replays a chunk against the shard machine. The reserve
+// assertion pins the routing invariant: dealing whole blocks round-
+// robin from block 0 keeps every shard's local space dense, so the
+// driver can predict each shard-local base without asking the shard.
+func (l *shardLane) apply(ops []uint64) {
+	for i := 0; i < len(ops); i++ {
+		w := ops[i]
+		switch w & 3 {
+		case opRead:
+			l.m.Access(w>>2, false)
+		case opWrite:
+			l.m.Access(w>>2, true)
+		case opReserve:
+			if r := l.m.Reserve(ops[i+1]); r.BaseVPN != ops[i+2] {
+				panic(fmt.Sprintf("sim: shard reserve at local vpn %d, expected %d", r.BaseVPN, ops[i+2]))
+			}
+			i += 2
+		case opFree:
+			l.m.FreeRegion(vm.Region{BaseVPN: ops[i+1], Pages: ops[i+2]})
+			i += 2
+		}
+	}
+}
+
+// Sharded runs S independent shard Machines over a block-interleaved
+// address space. Global VPNs are routed by 2MB block: block b lives on
+// shard b%S at local block b/S, which is the identity mapping at S=1 —
+// a one-shard Sharded machine replays exactly the stream a plain
+// Machine would see. The driver (Access/Reserve/FreeRegion) buffers
+// ops per shard, pipelines full chunks to the workers, and waits for
+// everything at barriers; results merge in shard order.
+type Sharded struct {
+	lanes []*shardLane
+	n     uint64
+	// Power-of-two shard counts (the common case, including 1) route
+	// with shift/mask; pow2=false falls back to division.
+	mask    uint64
+	shift   uint
+	pow2    bool
+	nextBlk uint64
+	seq     bool
+}
+
+// NewSharded builds the shard machines and starts one worker goroutine
+// per shard (none in Sequential mode).
+func NewSharded(cfg ShardedConfig) *Sharded {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if cfg.Machine.Topology != nil {
+		panic("sim: sharding supports two-tier machines only (Topology must be nil)")
+	}
+	if cfg.Machine.Trace != nil {
+		panic("sim: sharded tracing is per-shard; use TraceFor, not Machine.Trace")
+	}
+	s := &Sharded{n: uint64(n), seq: cfg.Sequential}
+	if s.n&(s.n-1) == 0 {
+		s.pow2, s.mask, s.shift = true, s.n-1, uint(bits.TrailingZeros64(s.n))
+	}
+	for i := 0; i < n; i++ {
+		mc := cfg.Machine
+		mc.FastBytes = shardBytes(mc.FastBytes, n)
+		mc.CapBytes = shardBytes(mc.CapBytes, n)
+		// Distinct per-shard seeds (same derivation idea as matrix
+		// cells); a zero Faults.Seed then derives an independent fault
+		// plan per shard for free.
+		mc.Seed = mc.Seed + int64(i)*1_000_003
+		if cfg.TraceFor != nil {
+			mc.Trace = cfg.TraceFor(i)
+		}
+		var pol Policy
+		if cfg.PolicyFor != nil {
+			pol = cfg.PolicyFor(i)
+		}
+		l := &shardLane{
+			m:       NewMachine(mc, pol),
+			pending: make([]uint64, 0, shardChunk+8),
+			spare:   make([]uint64, 0, shardChunk+8),
+			work:    make(chan []uint64, 1),
+			ack:     make(chan []uint64, 1),
+			done:    make(chan struct{}),
+		}
+		s.lanes = append(s.lanes, l)
+		if !s.seq {
+			go l.run()
+		}
+	}
+	return s
+}
+
+// shardBytes splits an aggregate byte budget across n shards, rounding
+// each share up to a whole number of 2MB blocks (every shard needs
+// block-aligned tiers for huge mappings). The aggregate may therefore
+// exceed the configured total by up to n-1 blocks.
+func shardBytes(total uint64, n int) uint64 {
+	per := (total + uint64(n) - 1) / uint64(n)
+	blocks := (per + tier.HugePageSize - 1) / tier.HugePageSize
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks * tier.HugePageSize
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.lanes) }
+
+// Machine returns shard i's underlying machine. Callers must only
+// touch it between barriers (after Flush or Finish) — between those
+// points it belongs to the worker goroutine.
+func (s *Sharded) Machine(i int) *Machine { return s.lanes[i].m }
+
+// route splits a global 2MB block number into (shard, local block).
+func (s *Sharded) route(blk uint64) (uint64, uint64) {
+	if s.pow2 {
+		return blk & s.mask, blk >> s.shift
+	}
+	return blk % s.n, blk / s.n
+}
+
+// Access enqueues one access to the shard owning vpn's 2MB block. Ops
+// are applied by the worker once the lane's chunk fills, and are all
+// complete after the next barrier (Flush or Finish).
+func (s *Sharded) Access(vpn uint64, write bool) {
+	blk := vpn / tier.SubPages
+	var shard, lblk uint64
+	if s.pow2 {
+		shard, lblk = blk&s.mask, blk>>s.shift
+	} else {
+		shard, lblk = blk%s.n, blk/s.n
+	}
+	var w uint64
+	if write {
+		w = opWrite
+	}
+	l := s.lanes[shard]
+	l.pending = append(l.pending, (lblk*tier.SubPages+vpn%tier.SubPages)<<2|w)
+	if len(l.pending) >= shardChunk {
+		s.dispatch(l)
+	}
+}
+
+// dispatch hands the lane's pending chunk to its worker and swaps in
+// the recycled buffer — pipelined, so the driver keeps enqueuing while
+// the worker drains. The ack handoff orders the worker's writes before
+// the buffer is refilled.
+func (s *Sharded) dispatch(l *shardLane) {
+	if s.seq {
+		l.apply(l.pending)
+		l.pending = l.pending[:0]
+		return
+	}
+	if l.inflight {
+		l.spare = (<-l.ack)[:0]
+	}
+	l.work <- l.pending
+	l.inflight = true
+	l.pending, l.spare = l.spare, nil
+}
+
+// blocksOn counts how many global blocks in [base, base+count) land on
+// shard i.
+func (s *Sharded) blocksOn(base, count uint64, i uint64) uint64 {
+	// Blocks ≡ i (mod n) in [0, x): x/n, plus one if x%n > i.
+	below := func(x uint64) uint64 {
+		c := x / s.n
+		if x%s.n > i {
+			c++
+		}
+		return c
+	}
+	return below(base+count) - below(base)
+}
+
+// Reserve carves a region out of the global address space, rounded up
+// to whole 2MB blocks, and deals its blocks round-robin to the shards.
+// The returned region is in global VPNs.
+func (s *Sharded) Reserve(bytes uint64) vm.Region {
+	blocks := (bytes + tier.HugePageSize - 1) / tier.HugePageSize
+	base := s.nextBlk
+	s.nextBlk += blocks
+	for i := uint64(0); i < s.n; i++ {
+		cnt := s.blocksOn(base, blocks, i)
+		if cnt == 0 {
+			continue
+		}
+		l := s.lanes[i]
+		l.pending = append(l.pending, opReserve, cnt*tier.HugePageSize, l.blocks*tier.SubPages)
+		l.blocks += cnt
+		if len(l.pending) >= shardChunk {
+			s.dispatch(l)
+		}
+	}
+	return vm.Region{BaseVPN: base * tier.SubPages, Pages: blocks * tier.SubPages}
+}
+
+// FreeRegion unmaps a whole-block global region (as returned by
+// Reserve). Each shard's slice of the region is contiguous in its
+// local space, so the free fans out as one op per owning shard.
+func (s *Sharded) FreeRegion(r vm.Region) {
+	if r.BaseVPN%tier.SubPages != 0 || r.Pages%tier.SubPages != 0 {
+		panic("sim: sharded FreeRegion requires whole-2MB-block regions")
+	}
+	base, blocks := r.BaseVPN/tier.SubPages, r.Pages/tier.SubPages
+	for i := uint64(0); i < s.n; i++ {
+		cnt := s.blocksOn(base, blocks, i)
+		if cnt == 0 {
+			continue
+		}
+		// First global block of the region on shard i.
+		first := base + (i+s.n-base%s.n)%s.n
+		_, lblk := s.route(first)
+		l := s.lanes[i]
+		l.pending = append(l.pending, opFree, lblk*tier.SubPages, cnt*tier.SubPages)
+		if len(l.pending) >= shardChunk {
+			s.dispatch(l)
+		}
+	}
+}
+
+// Flush is the merge barrier: every buffered op is applied — on the
+// workers, or inline in shard order in Sequential mode — and Flush
+// returns only when all shards are idle. Policy ticks and series
+// samples that fall due inside a chunk are delivered by the owning
+// shard as usual.
+func (s *Sharded) Flush() {
+	for _, l := range s.lanes {
+		if len(l.pending) > 0 {
+			s.dispatch(l)
+		}
+	}
+	if s.seq {
+		return
+	}
+	for _, l := range s.lanes {
+		if l.inflight {
+			l.spare = (<-l.ack)[:0]
+			l.inflight = false
+		}
+	}
+}
+
+// Finish flushes, stops the workers, and returns the per-shard results
+// in shard order.
+func (s *Sharded) Finish(workload string) []Result {
+	s.Flush()
+	if !s.seq {
+		for _, l := range s.lanes {
+			close(l.work)
+			<-l.done
+		}
+	}
+	out := make([]Result, len(s.lanes))
+	for i, l := range s.lanes {
+		out[i] = l.m.Finish(workload)
+	}
+	return out
+}
+
+// AggregateShards folds per-shard results into one machine-level view:
+// counts and stats sum, virtual and wall time are the slowest shard's
+// (shards run concurrently), throughput is total accesses over that
+// wall time, and ratios are access-weighted. Series, Counters and
+// Tenants stay per-shard (nil here) — merging them would interleave
+// unrelated clocks.
+func AggregateShards(rs []Result) Result {
+	var agg Result
+	var fastHits float64
+	for i, r := range rs {
+		if i == 0 {
+			agg.Policy, agg.Workload = r.Policy, r.Workload
+		}
+		agg.Accesses += r.Accesses
+		if r.AppNS > agg.AppNS {
+			agg.AppNS = r.AppNS
+		}
+		if r.WallNS > agg.WallNS {
+			agg.WallNS = r.WallNS
+		}
+		agg.DaemonUtil += r.DaemonUtil
+		agg.VM.Add(r.VM)
+		agg.TLB.Lookups4K += r.TLB.Lookups4K
+		agg.TLB.Misses4K += r.TLB.Misses4K
+		agg.TLB.Lookups2M += r.TLB.Lookups2M
+		agg.TLB.Misses2M += r.TLB.Misses2M
+		agg.RSSPeak += r.RSSPeak
+		agg.RSSFinal += r.RSSFinal
+		fastHits += r.FastHitRatio * float64(r.Accesses)
+	}
+	if agg.Accesses > 0 {
+		agg.FastHitRatio = fastHits / float64(agg.Accesses)
+	}
+	if agg.WallNS > 0 {
+		agg.Throughput = float64(agg.Accesses) / (float64(agg.WallNS) / 1e9)
+	}
+	return agg
+}

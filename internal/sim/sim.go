@@ -188,6 +188,10 @@ type Result struct {
 	Tenants []TenantResult
 }
 
+// maxTiers bounds the tier-chain depth a machine supports, matching
+// vm's packed page-table entry (4 tier bits).
+const maxTiers = 16
+
 // Machine is one simulated tiered host running a single workload under
 // a single policy. Fast and Cap alias the endpoints of the tier chain;
 // Tiers holds the full chain on N-tier machines.
@@ -223,7 +227,11 @@ type Machine struct {
 	// Per-tier latencies indexed by tier ID, hoisted out of the
 	// per-access path at construction (tier.AccessNS is two pointer
 	// chases per call).
-	loadNS, storeNS []uint64
+	// loadNS/storeNS are fixed-size arrays rather than slices so the
+	// per-access latency lookup is one indexed load with no slice
+	// header indirection; maxTiers matches the packed page-table
+	// entry's 4 tier bits.
+	loadNS, storeNS [maxTiers]uint64
 
 	now      uint64
 	accesses uint64
@@ -336,8 +344,6 @@ func NewMachine(cfg Config, pol Policy) *Machine {
 		m.mover = vm.NewMover(cfg.Mover, m.faults)
 		m.mover.AttachMetrics(m.reg.Group("mover"))
 	}
-	m.loadNS = make([]uint64, len(tiers))
-	m.storeNS = make([]uint64, len(tiers))
 	for i, t := range tiers {
 		m.loadNS[i] = t.AccessNS(false)
 		m.storeNS[i] = t.AccessNS(true)
@@ -660,11 +666,25 @@ func (m *Machine) deliverRecords() {
 // (fault injection, tick delivery, series sampling, RSS accounting)
 // hidden behind single predictable compares.
 func (m *Machine) Access(vpn uint64, write bool) {
-	tr := m.cur.Touch(vpn, write)
+	// Policy-free machines (replay, capacity baselines, the raw-speed
+	// benchmark) never read tr.Page: TouchFast inlines here and resolves
+	// a steady-state access from one block-table or pte load, with no
+	// TouchResult built at all; only first writes and demand faults drop
+	// into the full TouchLite machinery.
+	var tr vm.TouchResult
+	if m.Pol == nil {
+		if t, huge, ok := m.cur.TouchFast(vpn, write); ok {
+			tr.Tier, tr.Huge = t, huge
+		} else {
+			tr = m.cur.TouchLite(vpn, write)
+		}
+	} else {
+		tr = m.cur.Touch(vpn, write)
+	}
 	// The space tag disambiguates tenants in the TLB and in policy
 	// bookkeeping; it is 0 (a free OR) on single-space machines.
 	tvpn := vpn | m.curTag
-	cost := m.TLB.Access(tvpn, tr.Page.IsHuge()) + tr.FaultNS
+	cost := m.TLB.Access(tvpn, tr.Huge) + tr.FaultNS
 	if write {
 		cost += m.storeNS[tr.Tier]
 	} else {

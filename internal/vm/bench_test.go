@@ -33,3 +33,24 @@ func benchTouch(b *testing.B, thp, write bool) {
 func BenchmarkTouchMappedHugeRead(b *testing.B)  { benchTouch(b, true, false) }
 func BenchmarkTouchMappedHugeWrite(b *testing.B) { benchTouch(b, true, true) }
 func BenchmarkTouchMappedBaseRead(b *testing.B)  { benchTouch(b, false, false) }
+
+// BenchmarkForEachPageAllocs pins the steady-state allocation count of
+// the full-table walk at zero: policies call ForEachPage from periodic
+// ticks, and an O(nPages) snapshot allocation per call (the historical
+// behaviour) turns every policy tick into a GC event on large spaces.
+// The scratch buffer makes repeat walks allocation-free; the benchmark's
+// allocs/op column (gated in CI) is the regression tripwire.
+func BenchmarkForEachPageAllocs(b *testing.B) {
+	as, _ := benchAS(b, false) // base pages: maximal page count per byte
+	live := 0
+	as.ForEachPage(func(p *Page) { live++ }) // warm the scratch buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		as.ForEachPage(func(p *Page) { n++ })
+		if n != live {
+			b.Fatalf("walk visited %d pages, want %d", n, live)
+		}
+	}
+}

@@ -167,7 +167,7 @@ func TestAuditCatchesCorruption(t *testing.T) {
 		t.Error("audit missed a mapped dead page")
 	}
 	as, a, _ = build()
-	as.table[a.VPN] = nil // frame leak: allocated but unmapped
+	as.pt[a.VPN] = 0 // frame leak: allocated but unmapped
 	if err := as.Audit(); err == nil {
 		t.Error("audit missed a leaked frame")
 	}

@@ -131,6 +131,105 @@ func TestForEachPageFromResumeMidHugePage(t *testing.T) {
 	}
 }
 
+// TestForEachPageAllocFree pins the scratch-buffer contract directly:
+// after a first (warming) walk, further walks allocate nothing, and a
+// nested walk from inside the callback still sees every page exactly
+// once (it falls back to a private snapshot rather than clobbering the
+// outer one).
+func TestForEachPageAllocFree(t *testing.T) {
+	as := newAS(t, 16, 64, true)
+	r := as.Reserve(4 * tier.HugePageSize)
+	for i := uint64(0); i < r.Pages; i += 2 {
+		as.Touch(r.BaseVPN+i, false)
+	}
+	live := as.LivePages()
+	as.ForEachPage(func(p *Page) {}) // warm the scratch buffer
+	if avg := testing.AllocsPerRun(20, func() {
+		n := 0
+		as.ForEachPage(func(p *Page) { n++ })
+		if n != live {
+			t.Fatalf("walk visited %d pages, want %d", n, live)
+		}
+	}); avg != 0 {
+		t.Fatalf("steady-state ForEachPage allocates %.1f objects per walk, want 0", avg)
+	}
+	outer, inner := 0, 0
+	as.ForEachPage(func(p *Page) {
+		outer++
+		if outer == 1 {
+			as.ForEachPage(func(q *Page) { inner++ })
+		}
+	})
+	if outer != live || inner != live {
+		t.Fatalf("nested walk visited outer=%d inner=%d, want %d each", outer, inner, live)
+	}
+}
+
+// TestForEachPageFromShrinkResume pins the cursor-clamp contract when
+// the table shrinks between calls: Free of a trailing region trims the
+// page table, and a cursor handed out before the trim must fold back
+// into range deterministically (cursor mod table length) — not snap to
+// 0, which would restart every in-flight background sweep at the low
+// VPNs and starve the high end of cooling coverage.
+func TestForEachPageFromShrinkResume(t *testing.T) {
+	as := newAS(t, 16, 64, true)
+	low := as.Reserve(2 * tier.HugePageSize)
+	high := as.Reserve(2 * tier.HugePageSize)
+	for i := uint64(0); i < low.Pages; i++ {
+		as.Touch(low.BaseVPN+i, false)
+	}
+	for i := uint64(0); i < high.Pages; i++ {
+		as.Touch(high.BaseVPN+i, false)
+	}
+
+	// Walk into the high region, then free it: the trailing trim
+	// shrinks the table below the cursor.
+	cursor := as.ForEachPageFrom(high.BaseVPN, 1, func(p *Page) {})
+	as.Free(high)
+	if got, want := uint64(len(as.pt)), low.BaseVPN+low.Pages; got != want {
+		t.Fatalf("trailing free left table at %d entries, want %d", got, want)
+	}
+	if cursor < uint64(len(as.pt)) {
+		t.Fatalf("test stale-cursor setup broken: cursor %d inside table %d", cursor, len(as.pt))
+	}
+
+	// The stale cursor must resume at cursor mod len, deterministically:
+	// two identical walks from it visit the same first page, and a full
+	// cycle still covers every surviving page exactly once.
+	first := func() uint64 {
+		var v uint64 = ^uint64(0)
+		as.ForEachPageFrom(cursor, 1, func(p *Page) { v = p.VPN })
+		return v
+	}
+	f1, f2 := first(), first()
+	if f1 != f2 {
+		t.Fatalf("stale cursor resumed non-deterministically: %d vs %d", f1, f2)
+	}
+	if want := as.Lookup(cursor % uint64(len(as.pt))); want == nil || f1 < want.VPN {
+		t.Fatalf("stale cursor resumed at %d, before its folded position %d", f1, cursor%uint64(len(as.pt)))
+	}
+	live := as.LivePages()
+	visits := make(map[uint64]int)
+	c, total := cursor, 0
+	for steps := 0; total < live; steps++ {
+		if steps > live+16 {
+			t.Fatalf("post-shrink walker failed to cover %d pages (visited %d)", live, total)
+		}
+		c = as.ForEachPageFrom(c, 3, func(p *Page) {
+			visits[p.VPN]++
+			total++
+		})
+	}
+	for vpn, n := range visits {
+		if n != 1 {
+			t.Fatalf("post-shrink cycle visited page %d %d times", vpn, n)
+		}
+	}
+	if len(visits) != live {
+		t.Fatalf("post-shrink cycle covered %d pages, want %d", len(visits), live)
+	}
+}
+
 // TestForEachPageFromEmptySpace: no live pages terminates immediately.
 func TestForEachPageFromEmptySpace(t *testing.T) {
 	as := newAS(t, 4, 16, true)

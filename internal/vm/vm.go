@@ -16,6 +16,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memtis/internal/obs"
 	"memtis/internal/tier"
@@ -53,6 +54,76 @@ const (
 	BasePage PageKind = iota
 	HugePage
 )
+
+// pte is one packed page-table entry — the data-oriented core of the
+// address space (DESIGN.md §12). The table is a dense VPN-indexed
+// []pte, so the translation hot path reads 4 bytes per access instead
+// of chasing a *Page into a scattered heap object: the entry carries
+// everything Touch needs for an already-mapped, already-written access
+// (page-record index, huge bit, per-subpage touched bit, tier).
+//
+// Layout (low to high):
+//
+//	bits 0..25  page-record index + 1 into the space's arena; 0 means
+//	            the slot is unmapped (so a zeroed table is empty)
+//	bit  26     huge: the slot belongs to a 2MB mapping (all 512 slots
+//	            of the block carry the same record index)
+//	bit  27     touched: this 4KB subpage has been written at least
+//	            once (mirrors the record's touched bitmap so steady-
+//	            state writes never dirty the record's cache line)
+//	bits 28..31 tier of the mapping (kept in sync with Page.Tier by
+//	            every tier-changing operation; Audit verifies it)
+type pte uint32
+
+const (
+	pteIdxBits   = 26
+	pteIdxMask   = 1<<pteIdxBits - 1
+	pteHuge      = 1 << 26
+	pteTouched   = 1 << 27
+	pteTierShift = 28
+	pteTierMask  = pte(0xF) << pteTierShift
+)
+
+// Page-record arena geometry: records live in append-only chunks so a
+// *Page handed to a policy is stable for the lifetime of the address
+// space (chunks are never reallocated, records never recycled — a
+// policy holding a stale pointer to a split or freed page sees
+// Dead()==true, exactly as with the historical heap-allocated pages).
+// Chunk sizes ramp up by doubling from rampLen to chunkLen and stay at
+// chunkLen from then on: a multi-tenant machine holds one arena per
+// address space, and a fixed 4096-record first chunk (~650KB) would
+// dwarf a small tenant's actual footprint (a 1MB tenant maps 256
+// records). The doubling ramp from rampLen to chunkLen/2 covers
+// exactly chunkLen-rampLen records, so the fixed-size regime starts at
+// record rampTotal with plain shift/mask indexing from there.
+const (
+	chunkShift = 12
+	chunkLen   = 1 << chunkShift
+	chunkMask  = chunkLen - 1
+	rampShift  = 6
+	rampLen    = 1 << rampShift
+	rampChunks = chunkShift - rampShift
+	rampTotal  = chunkLen - rampLen
+)
+
+// arenaLoc maps a record index to its (chunk, slot) under the ramp
+// geometry above.
+func arenaLoc(i uint32) (int, uint32) {
+	if i < rampTotal {
+		c := bits.Len32(i>>rampShift+1) - 1
+		return c, i - (rampLen<<c - rampLen)
+	}
+	i -= rampTotal
+	return rampChunks + int(i>>chunkShift), i & chunkMask
+}
+
+// chunkSize returns the record capacity of chunk c.
+func chunkSize(c int) int {
+	if c < rampChunks {
+		return rampLen << c
+	}
+	return chunkLen
+}
 
 // Page is one mapped translation unit: a 4KB base page or a 2MB huge
 // page. The access-metadata fields mirror what MEMTIS packs into the
@@ -95,6 +166,10 @@ type Page struct {
 	// from several tenants key their per-block state by Owner so two
 	// tenants' identical VPNs never alias (DESIGN.md §10).
 	Owner uint32
+
+	// arIdx is the record's index in its space's arena; pte entries
+	// store arIdx+1.
+	arIdx uint32
 
 	dead bool
 }
@@ -210,10 +285,36 @@ type AddressSpace struct {
 	hopBase []uint64
 	hopHuge []uint64
 
-	table   []*Page
+	// pt is the packed page table: one pte per reserved base VPN. Its
+	// length may be trimmed below nextVPN when Free releases a trailing
+	// range (all entries past len(pt) are by construction unmapped);
+	// fault paths re-grow it on demand.
+	pt []pte
+	// bt is the block table: one entry per 2MB block, non-zero exactly
+	// when the whole block is a single live huge mapping, holding that
+	// mapping's pte (sans touched bit). It is a 512x-compressed read
+	// cache over pt — at paper scale the access stream is huge-page
+	// dominated, and the block table keeps its working set L1-resident
+	// where the full pt would thrash L2. pt stays authoritative
+	// (per-subpage touched bits live only there); every huge-mapping
+	// mutation updates both, and Audit checks them equal.
+	bt []pte
+	// chunks is the page-record arena: append-only chunks (doubling
+	// ramp, then fixed-size — see arenaLoc), so records are dense in
+	// memory (background sweeps walk them cache-linearly) while *Page
+	// handles stay stable forever.
+	chunks [][]Page
+	nAlloc uint32
+
 	hugeOK  []bool // per 2MB block: fully covered by one reservation
 	nextVPN uint64
 	nPages  int // live Page objects
+
+	// feScratch is ForEachPage's reusable snapshot buffer; feBusy
+	// guards against a nested walk clobbering it (the inner walk falls
+	// back to a fresh allocation).
+	feScratch []*Page
+	feBusy    bool
 
 	// THP controls whether 2MB-aligned, >=2MB reservations fault in as
 	// huge pages (Linux THP=always) or everything uses base pages.
@@ -293,6 +394,9 @@ func NewAddressSpace(fast, cap *tier.Tier, thp bool) *AddressSpace {
 func NewAddressSpaceTiers(tiers []*tier.Tier, topo *tier.Topology, thp bool) *AddressSpace {
 	if len(tiers) < 2 {
 		panic("vm: address space needs at least two tiers")
+	}
+	if len(tiers) > 16 {
+		panic("vm: tier chain deeper than the packed page-table entry's 4 tier bits")
 	}
 	as := &AddressSpace{
 		Fast:  tiers[0],
@@ -393,11 +497,7 @@ func (as *AddressSpace) Reserve(bytes uint64) Region {
 	r := Region{BaseVPN: as.nextVPN, Pages: pages}
 	as.nextVPN += pages
 	need := int(as.nextVPN)
-	if need > len(as.table) {
-		nt := make([]*Page, need+need/2+tier.SubPages)
-		copy(nt, as.table)
-		as.table = nt
-	}
+	as.ensurePT(need)
 	if nb := (need + tier.SubPages - 1) / tier.SubPages; nb > len(as.hugeOK) {
 		nh := make([]bool, nb+nb/2+1)
 		copy(nh, as.hugeOK)
@@ -411,12 +511,94 @@ func (as *AddressSpace) Reserve(bytes uint64) Region {
 	return r
 }
 
+// ensurePT grows the page table (and the parallel block table) to
+// cover at least need entries, re-extending a table Free previously
+// trimmed (new entries are zero, i.e. unmapped).
+func (as *AddressSpace) ensurePT(need int) {
+	if need > len(as.pt) {
+		if need <= cap(as.pt) {
+			tail := as.pt[len(as.pt):need]
+			for i := range tail {
+				tail[i] = 0
+			}
+			as.pt = as.pt[:need]
+		} else {
+			nt := make([]pte, need+need/2+tier.SubPages)
+			copy(nt, as.pt)
+			as.pt = nt[:need]
+		}
+	}
+	if nb := (len(as.pt) + tier.SubPages - 1) / tier.SubPages; nb > len(as.bt) {
+		if nb <= cap(as.bt) {
+			tail := as.bt[len(as.bt):nb]
+			for i := range tail {
+				tail[i] = 0
+			}
+			as.bt = as.bt[:nb]
+		} else {
+			nt := make([]pte, nb+nb/2+1)
+			copy(nt, as.bt)
+			as.bt = nt[:nb]
+		}
+	}
+}
+
+// pageAt resolves a non-zero pte to its arena record.
+func (as *AddressSpace) pageAt(e pte) *Page {
+	c, s := arenaLoc(uint32(e&pteIdxMask) - 1)
+	return &as.chunks[c][s]
+}
+
+// newPage appends a zeroed record to the arena. Records are never
+// recycled: policies legitimately hold *Page across splits and frees
+// and rely on Dead() — a recycled record would alias a live page.
+func (as *AddressSpace) newPage() *Page {
+	if as.nAlloc >= pteIdxMask {
+		panic("vm: page-record arena exhausted the pte's 26 index bits")
+	}
+	ci, slot := arenaLoc(as.nAlloc)
+	if ci == len(as.chunks) {
+		as.chunks = append(as.chunks, make([]Page, chunkSize(ci)))
+	}
+	pg := &as.chunks[ci][slot]
+	*pg = Page{arIdx: as.nAlloc}
+	as.nAlloc++
+	return pg
+}
+
+// pteFor builds the table entry mapping a vpn to pg (without the
+// touched bit, which tracks per-slot write state).
+func pteFor(pg *Page) pte {
+	e := pte(pg.arIdx+1) | pte(pg.Tier)<<pteTierShift
+	if pg.Kind == HugePage {
+		e |= pteHuge
+	}
+	return e
+}
+
+// setTierPTE rewrites the tier bits of every slot of a live page after
+// a tier change, keeping the packed table (and, for huge pages, the
+// block table) in sync with Page.Tier.
+func (as *AddressSpace) setTierPTE(p *Page) {
+	nt := pte(p.Tier) << pteTierShift
+	for i := p.VPN; i < p.VPN+p.Units(); i++ {
+		as.pt[i] = as.pt[i]&^pteTierMask | nt
+	}
+	if p.IsHuge() {
+		as.bt[p.VPN/tier.SubPages] = pteFor(p)
+	}
+}
+
 // Lookup returns the page mapping vpn, or nil when unmapped.
 func (as *AddressSpace) Lookup(vpn uint64) *Page {
-	if vpn >= uint64(len(as.table)) {
+	if vpn >= uint64(len(as.pt)) {
 		return nil
 	}
-	return as.table[vpn]
+	e := as.pt[vpn]
+	if e == 0 {
+		return nil
+	}
+	return as.pageAt(e)
 }
 
 // tierOf returns the tier object for id.
@@ -431,17 +613,26 @@ type TouchResult struct {
 	Tier    tier.ID
 	FaultNS uint64 // demand-paging cost incurred on this access
 	Faulted bool
+	// Huge mirrors Page.IsHuge() so the access hot path (TLB insert)
+	// never needs to dereference the page record.
+	Huge bool
 }
 
 // hugeEligible reports whether vpn can fault in as a huge page: the
 // whole 2MB-aligned block around it must be reserved and unmapped.
+// Slots past len(pt) (a table Free trimmed) are unmapped by
+// construction; hugeOK already guarantees the block is fully reserved.
 func (as *AddressSpace) hugeEligible(vpn uint64) bool {
 	base := vpn - vpn%tier.SubPages
-	if base+tier.SubPages > uint64(len(as.table)) || !as.hugeOK[base/tier.SubPages] {
+	if b := base / tier.SubPages; b >= uint64(len(as.hugeOK)) || !as.hugeOK[b] {
 		return false
 	}
-	for i := base; i < base+tier.SubPages; i++ {
-		if as.table[i] != nil {
+	end := base + tier.SubPages
+	if n := uint64(len(as.pt)); end > n {
+		end = n
+	}
+	for i := base; i < end; i++ {
+		if as.pt[i] != 0 {
 			return false
 		}
 	}
@@ -477,19 +668,87 @@ func (as *AddressSpace) placeFor(huge bool, vpn uint64) tier.ID {
 // mark the subpage as non-zero for later bloat reclaim.
 //
 // The already-mapped case is the simulator's hot path: one bounds
-// check, one table load, no calls (markTouched stays branch-only once
-// the subpage has been written). The fault path lives in touchFault so
-// this body stays small.
+// check and one 4-byte pte load yield tier, huge bit and touched state;
+// the page record is located by arithmetic (chunk index) but its memory
+// is not read, so steady-state accesses touch exactly one table cache
+// line. Only the first write to a subpage dirties the record (its
+// touched bitmap); the pte's touched bit short-circuits every later
+// write. The fault path lives in touchFault so this body stays small.
 func (as *AddressSpace) Touch(vpn uint64, write bool) TouchResult {
-	if vpn < uint64(len(as.table)) {
-		if pg := as.table[vpn]; pg != nil {
-			res := TouchResult{Page: pg, Tier: pg.Tier}
-			if pg.Kind == HugePage {
-				res.SubIdx = int(vpn - pg.VPN)
+	if vpn < uint64(len(as.pt)) {
+		// Fast path: mapped, and either a read or a re-write of an
+		// already-touched subpage. Small enough to inline into the
+		// simulator's access loop, which lets the compiler hoist the
+		// pte load ahead of the caller's other work.
+		if e := as.pt[vpn]; e != 0 && (!write || e&pteTouched != 0) {
+			sub := 0
+			if e&pteHuge != 0 {
+				// Huge mappings are always 2MB-aligned.
+				sub = int(vpn & (tier.SubPages - 1))
 			}
-			if write {
-				pg.markTouched(res.SubIdx)
+			return TouchResult{
+				Page:   as.pageAt(e),
+				SubIdx: sub,
+				Tier:   tier.ID(e >> pteTierShift),
+				Huge:   e&pteHuge != 0,
 			}
+		}
+	}
+	return as.touchSlow(vpn, write)
+}
+
+// TouchFast serves a steady-state access for callers that do not
+// consume TouchResult.Page, without building a TouchResult at all:
+// three scalars come back in registers, and the body is small enough
+// to inline into the simulator's access loop. Huge-mapping reads —
+// the dominant access class at paper scale — are answered from the
+// block table alone: one load from a 512x-compressed, L1-resident
+// table, where the full pt working set would thrash the cache.
+// Writes (which need the per-subpage touched bit) and base-page
+// traffic read the packed pte instead. ok=false means the access
+// needs the slow path (first write to a subpage, or a demand fault);
+// the caller must then call TouchLite.
+func (as *AddressSpace) TouchFast(vpn uint64, write bool) (t tier.ID, huge, ok bool) {
+	if b := vpn / tier.SubPages; !write && b < uint64(len(as.bt)) {
+		if e := as.bt[b]; e != 0 {
+			return tier.ID(e >> pteTierShift), true, true
+		}
+	}
+	if vpn < uint64(len(as.pt)) {
+		if e := as.pt[vpn]; e != 0 && (!write || e&pteTouched != 0) {
+			return tier.ID(e >> pteTierShift), e&pteHuge != 0, true
+		}
+	}
+	return 0, false, false
+}
+
+// TouchLite is Touch for callers that do not consume TouchResult.Page
+// (machines running without a policy: replay and capacity baselines).
+// The page record is neither read nor located on the fast paths; the
+// slow paths fall through to the full Touch machinery and do populate
+// Page.
+func (as *AddressSpace) TouchLite(vpn uint64, write bool) TouchResult {
+	if t, huge, ok := as.TouchFast(vpn, write); ok {
+		return TouchResult{Tier: t, Huge: huge}
+	}
+	return as.touchSlow(vpn, write)
+}
+
+// touchSlow handles Touch's two out-of-line cases: the first write to a
+// mapped subpage (set both touched bits), and the demand fault.
+func (as *AddressSpace) touchSlow(vpn uint64, write bool) TouchResult {
+	if vpn < uint64(len(as.pt)) {
+		if e := as.pt[vpn]; e != 0 {
+			res := TouchResult{
+				Page: as.pageAt(e),
+				Tier: tier.ID(e >> pteTierShift),
+				Huge: e&pteHuge != 0,
+			}
+			if e&pteHuge != 0 {
+				res.SubIdx = int(vpn & (tier.SubPages - 1))
+			}
+			as.pt[vpn] = e | pteTouched
+			res.Page.markTouched(res.SubIdx)
 			return res
 		}
 	}
@@ -517,10 +776,12 @@ func (as *AddressSpace) touchFault(vpn uint64, write bool) TouchResult {
 	as.Trace.Emit(obs.EvDemandFault, pg.VPN, pg.IsHuge(), pg.Bytes(), res.FaultNS)
 	res.Page = pg
 	res.Tier = pg.Tier
-	if pg.IsHuge() {
+	res.Huge = pg.IsHuge()
+	if res.Huge {
 		res.SubIdx = int(vpn - pg.VPN)
 	}
 	if write {
+		as.pt[vpn] |= pteTouched
 		pg.markTouched(res.SubIdx)
 	}
 	return res
@@ -537,10 +798,14 @@ func (as *AddressSpace) mapHuge(baseVPN uint64) *Page {
 			return as.mapBase(baseVPN)
 		}
 	}
-	pg := &Page{VPN: baseVPN, Kind: HugePage, Tier: id, Frame: f, Owner: as.Tenant}
+	pg := as.newPage()
+	pg.VPN, pg.Kind, pg.Tier, pg.Frame, pg.Owner = baseVPN, HugePage, id, f, as.Tenant
+	as.ensurePT(int(baseVPN + tier.SubPages))
+	e := pteFor(pg)
 	for i := uint64(0); i < tier.SubPages; i++ {
-		as.table[baseVPN+i] = pg
+		as.pt[baseVPN+i] = e
 	}
+	as.bt[baseVPN/tier.SubPages] = e
 	as.nPages++
 	as.residentUnits += tier.SubPages
 	if id == tier.FastTier {
@@ -559,8 +824,10 @@ func (as *AddressSpace) mapBase(vpn uint64) *Page {
 			panic("vm: all tiers out of memory")
 		}
 	}
-	pg := &Page{VPN: vpn, Kind: BasePage, Tier: id, Frame: f, Owner: as.Tenant}
-	as.table[vpn] = pg
+	pg := as.newPage()
+	pg.VPN, pg.Kind, pg.Tier, pg.Frame, pg.Owner = vpn, BasePage, id, f, as.Tenant
+	as.ensurePT(int(vpn + 1))
+	as.pt[vpn] = pteFor(pg)
 	as.nPages++
 	as.residentUnits++
 	if id == tier.FastTier {
@@ -729,6 +996,7 @@ func (as *AddressSpace) MigrateTx(p *Page, dst tier.ID) (ns uint64, st MigrateSt
 	as.Trace.Emit(obs.EvShootdown, p.VPN, p.IsHuge(), 0, 0)
 	as.stats.MigratedBytes += p.Bytes()
 	p.Tier = dst
+	as.ownerOf(p).setTierPTE(p)
 	return ns, MigrateOK
 }
 
@@ -759,6 +1027,7 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 	}
 	src := as.tierOf(p.Tier)
 	src.BreakHuge(p.Frame)
+	as.bt[p.VPN/tier.SubPages] = 0
 	ns = SplitFixedNS + ShootdownNS
 	as.stats.Splits++
 	as.stats.Shootdowns++
@@ -770,7 +1039,7 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 		if !p.Touched(j) {
 			// All-zero subpage: unmap and free (memory bloat reclaim).
 			src.FreeBase(p.Frame + tier.Frame(j))
-			as.table[vpn] = nil
+			as.pt[vpn] = 0
 			as.stats.ReclaimedFrames++
 			as.residentUnits--
 			if p.Tier == tier.FastTier {
@@ -784,9 +1053,10 @@ func (as *AddressSpace) Split(p *Page, dest SubDest) (subs []*Page, ns uint64) {
 		if p.SubCount != nil {
 			cnt = uint64(p.SubCount[j])
 		}
-		np := &Page{VPN: vpn, Kind: BasePage, Tier: p.Tier, Frame: p.Frame + tier.Frame(j), Count: cnt, Owner: p.Owner}
+		np := as.newPage()
+		np.VPN, np.Kind, np.Tier, np.Frame, np.Count, np.Owner = vpn, BasePage, p.Tier, p.Frame+tier.Frame(j), cnt, p.Owner
 		np.markTouched(0)
-		as.table[vpn] = np
+		as.pt[vpn] = pteFor(np) | pteTouched
 		as.nPages++
 		subs = append(subs, np)
 		if d := dest(j); d != tier.NoTier && d != np.Tier {
@@ -844,8 +1114,10 @@ func (as *AddressSpace) Collapse(baseVPN uint64, dst tier.ID) (hp *Page, ns uint
 	if err != nil {
 		return nil, 0, false
 	}
-	hp = &Page{VPN: baseVPN, Kind: HugePage, Tier: dst, Frame: nf, Owner: olds[0].Owner}
+	hp = as.newPage()
+	hp.VPN, hp.Kind, hp.Tier, hp.Frame, hp.Owner = baseVPN, HugePage, dst, nf, olds[0].Owner
 	hp.SubCount = make([]uint32, tier.SubPages)
+	he := pteFor(hp) | pteTouched
 	for j := 0; j < tier.SubPages; j++ {
 		old := olds[j]
 		hp.SubCount[j] = uint32(old.Count)
@@ -853,9 +1125,10 @@ func (as *AddressSpace) Collapse(baseVPN uint64, dst tier.ID) (hp *Page, ns uint
 		hp.markTouched(j)
 		as.tierOf(old.Tier).FreeBase(old.Frame)
 		old.dead = true
-		as.table[baseVPN+uint64(j)] = hp
+		as.pt[baseVPN+uint64(j)] = he
 		as.nPages--
 	}
+	as.bt[baseVPN/tier.SubPages] = pteFor(hp)
 	as.nPages++
 	as.fastUnits -= fastOlds
 	if dst == tier.FastTier {
@@ -870,13 +1143,23 @@ func (as *AddressSpace) Collapse(baseVPN uint64, dst tier.ID) (hp *Page, ns uint
 
 // Free unmaps every mapped page of the region, returning frames to
 // their tiers. Used by workloads with short-lived allocations.
+//
+// Freeing a trailing range shrinks the page table: the all-unmapped
+// tail is trimmed so background walkers don't cycle over dead address
+// space forever (fault paths re-grow the table on demand). The trim is
+// invisible to iteration semantics — every walker treats an unmapped
+// slot and an out-of-range slot identically.
 func (as *AddressSpace) Free(r Region) {
-	for vpn := r.BaseVPN; vpn < r.BaseVPN+r.Pages; vpn++ {
-		pg := as.table[vpn]
-		if pg == nil || pg.dead {
-			as.table[vpn] = nil
+	end := r.BaseVPN + r.Pages
+	if n := uint64(len(as.pt)); end > n {
+		end = n
+	}
+	for vpn := r.BaseVPN; vpn < end; vpn++ {
+		e := as.pt[vpn]
+		if e == 0 {
 			continue
 		}
+		pg := as.pageAt(e)
 		if as.OnUnmap != nil {
 			as.OnUnmap(pg)
 		}
@@ -884,12 +1167,13 @@ func (as *AddressSpace) Free(r Region) {
 		if pg.IsHuge() {
 			t.FreeHuge(pg.Frame)
 			for i := uint64(0); i < tier.SubPages; i++ {
-				as.table[pg.VPN+i] = nil
+				as.pt[pg.VPN+i] = 0
 			}
+			as.bt[pg.VPN/tier.SubPages] = 0
 			vpn = pg.VPN + tier.SubPages - 1
 		} else {
 			t.FreeBase(pg.Frame)
-			as.table[vpn] = nil
+			as.pt[vpn] = 0
 		}
 		as.residentUnits -= pg.Units()
 		if pg.Tier == tier.FastTier {
@@ -899,6 +1183,14 @@ func (as *AddressSpace) Free(r Region) {
 		pg.dead = true
 		as.nPages--
 	}
+	n := len(as.pt)
+	for n > 0 && as.pt[n-1] == 0 {
+		n--
+	}
+	as.pt = as.pt[:n]
+	// The trimmed blocks are all-unmapped, so their bt entries are
+	// already zero; only the length needs to follow.
+	as.bt = as.bt[:(n+tier.SubPages-1)/tier.SubPages]
 }
 
 // Dead reports whether the page has been split, collapsed or freed.
@@ -930,14 +1222,31 @@ func (as *AddressSpace) LivePages() int { return as.nPages }
 // byte-identical traces across runs and workers; it is pinned by a
 // regression test (TestForEachPageDeterministicOrder) and must not be
 // weakened by switching the page table to an unordered container.
+// ForEachPage reuses a per-space scratch buffer for its snapshot, so
+// steady-state background walks allocate nothing (pinned by
+// BenchmarkForEachPageAllocs); a nested call from inside fn falls back
+// to a fresh allocation rather than clobbering the outer snapshot.
 func (as *AddressSpace) ForEachPage(fn func(p *Page)) {
-	snap := make([]*Page, 0, as.nPages)
-	var last *Page
-	for _, pg := range as.table {
-		if pg != nil && pg != last && !pg.dead {
-			snap = append(snap, pg)
-			last = pg
+	var snap []*Page
+	if reuse := !as.feBusy; reuse {
+		as.feBusy = true
+		snap = as.feScratch[:0]
+		defer func() {
+			as.feScratch = snap[:0]
+			as.feBusy = false
+		}()
+	} else {
+		snap = make([]*Page, 0, as.nPages)
+	}
+	for vpn, n := uint64(0), uint64(len(as.pt)); vpn < n; {
+		e := as.pt[vpn]
+		if e == 0 {
+			vpn++
+			continue
 		}
+		pg := as.pageAt(e)
+		snap = append(snap, pg)
+		vpn = pg.VPN + pg.Units()
 	}
 	for _, pg := range snap {
 		if !pg.dead {
@@ -959,20 +1268,26 @@ func (as *AddressSpace) ForEachPage(fn func(p *Page)) {
 // §8 hybrid scan). The callback may migrate or update metadata of the
 // visited page but must not unmap, split or collapse pages.
 func (as *AddressSpace) ForEachPageFrom(cursor uint64, max int, fn func(p *Page)) uint64 {
-	n := uint64(len(as.table))
+	n := uint64(len(as.pt))
 	if n == 0 || max <= 0 {
 		return 0
 	}
 	if cursor >= n {
-		cursor = 0
+		// The table shrank since the cursor was handed out (Free
+		// trimmed a trailing range). Fold the cursor back into range
+		// instead of snapping to 0: a snap would restart every
+		// in-flight sweep at the low VPNs and starve the high end of
+		// the address space of cooling/scan coverage.
+		cursor %= n
 	}
 	visited := 0
 	// scanned bounds the walk to one full table cycle so a sparse or
 	// empty address space terminates without visiting max pages.
 	for scanned := uint64(0); scanned < n && visited < max; {
-		pg := as.table[cursor]
+		e := as.pt[cursor]
 		step := uint64(1)
-		if pg != nil && !pg.dead {
+		if e != 0 {
+			pg := as.pageAt(e)
 			fn(pg)
 			visited++
 			step = pg.VPN + pg.Units() - cursor
@@ -994,15 +1309,16 @@ func (as *AddressSpace) ForEachPageFrom(cursor uint64, max int, fn func(p *Page)
 // in the low bits) so a background sweep covers every tenant's pages
 // exactly once per cycle. Same callback contract as ForEachPageFrom.
 func (as *AddressSpace) ForEachPageSlice(cursor uint64, max int, fn func(p *Page)) (next uint64, done bool) {
-	n := uint64(len(as.table))
+	n := uint64(len(as.pt))
 	if cursor >= n || max <= 0 {
 		return 0, true
 	}
 	visited := 0
 	for cursor < n && visited < max {
-		pg := as.table[cursor]
+		e := as.pt[cursor]
 		step := uint64(1)
-		if pg != nil && !pg.dead {
+		if e != 0 {
+			pg := as.pageAt(e)
 			fn(pg)
 			visited++
 			step = pg.VPN + pg.Units() - cursor
@@ -1057,10 +1373,15 @@ func (as *AddressSpace) Audit() error {
 func (as *AddressSpace) auditMapped(owner map[tier.PhysAddr]uint64) ([]uint64, error) {
 	units := make([]uint64, len(as.tiers))
 	mapped := make(map[*Page]uint64)
-	for vpn, pg := range as.table {
-		if pg == nil {
+	for vpn, e := range as.pt {
+		if e == 0 {
 			continue
 		}
+		if idx := uint32(e & pteIdxMask); idx > as.nAlloc {
+			return nil, fmt.Errorf("vm: pte at vpn %d indexes record %d beyond the arena (%d allocated)",
+				vpn, idx-1, as.nAlloc)
+		}
+		pg := as.pageAt(e)
 		if pg.dead {
 			return nil, fmt.Errorf("vm: dead page %d still mapped at vpn %d", pg.VPN, vpn)
 		}
@@ -1073,10 +1394,30 @@ func (as *AddressSpace) auditMapped(owner map[tier.PhysAddr]uint64) ([]uint64, e
 			return nil, fmt.Errorf("vm: page %d owned by space %d but mapped in space %d",
 				pg.VPN, pg.Owner, as.Tenant)
 		}
+		// The packed entry's cached bits must agree with the record —
+		// a desync here means a tier-changing path forgot setTierPTE
+		// (the access hot path would charge the wrong tier's latency).
+		if got := tier.ID(e >> pteTierShift); got != pg.Tier {
+			return nil, fmt.Errorf("vm: pte at vpn %d caches tier %v but page %d is on %v",
+				vpn, got, pg.VPN, pg.Tier)
+		}
+		if (e&pteHuge != 0) != pg.IsHuge() {
+			return nil, fmt.Errorf("vm: pte at vpn %d huge bit disagrees with page %d", vpn, pg.VPN)
+		}
+		if e&pteTouched != 0 && !pg.Touched(int(off)) {
+			return nil, fmt.Errorf("vm: pte at vpn %d touched bit set but page %d subpage %d is clean",
+				vpn, pg.VPN, off)
+		}
 		if mapped[pg] == 0 {
 			// First sighting: account frames and check uniqueness.
 			if pg.Tier < 0 || int(pg.Tier) >= len(as.tiers) {
 				return nil, fmt.Errorf("vm: page %d on tier %v", pg.VPN, pg.Tier)
+			}
+			if pg.IsHuge() {
+				b := pg.VPN / tier.SubPages
+				if b >= uint64(len(as.bt)) || as.bt[b] != pteFor(pg) {
+					return nil, fmt.Errorf("vm: huge page %d missing or stale in the block table", pg.VPN)
+				}
 			}
 			units[pg.Tier] += pg.Units()
 			for u := uint64(0); u < pg.Units(); u++ {
@@ -1093,6 +1434,18 @@ func (as *AddressSpace) auditMapped(owner map[tier.PhysAddr]uint64) ([]uint64, e
 	for pg, n := range mapped {
 		if n != pg.Units() {
 			return nil, fmt.Errorf("vm: page %d maps %d of its %d slots", pg.VPN, n, pg.Units())
+		}
+	}
+	// Reverse direction: every non-zero block-table entry must describe
+	// a live huge mapping the pt walk actually saw (a stale entry would
+	// serve reads for a split or freed block).
+	for b, e := range as.bt {
+		if e == 0 {
+			continue
+		}
+		base := uint64(b) * tier.SubPages
+		if e&pteHuge == 0 || base >= uint64(len(as.pt)) || as.pt[base]&^pteTouched != e {
+			return nil, fmt.Errorf("vm: block table entry %d is stale (pte %#x)", b, e)
 		}
 	}
 	var total uint64

@@ -437,3 +437,40 @@ func TestRSSAccounting(t *testing.T) {
 		t.Fatalf("RSS frames = %d", as.RSSFrames())
 	}
 }
+
+// TestArenaLoc pins the graduated-chunk geometry: the index→(chunk,
+// slot) map must be a bijection onto in-bounds slots in append order —
+// slot 0 of a new chunk follows the last slot of the previous one, and
+// chunk sizes double from rampLen up to the fixed chunkLen regime.
+func TestArenaLoc(t *testing.T) {
+	prevC, prevS := -1, uint32(0)
+	for i := uint32(0); i < rampTotal+3*chunkLen; i++ {
+		c, s := arenaLoc(i)
+		if s >= uint32(chunkSize(c)) {
+			t.Fatalf("index %d: slot %d out of bounds for chunk %d (size %d)", i, s, c, chunkSize(c))
+		}
+		switch {
+		case i == 0:
+			if c != 0 || s != 0 {
+				t.Fatalf("index 0 maps to (%d,%d)", c, s)
+			}
+		case c == prevC:
+			if s != prevS+1 {
+				t.Fatalf("index %d: slot %d does not follow %d in chunk %d", i, s, prevS, c)
+			}
+		case c == prevC+1:
+			if s != 0 {
+				t.Fatalf("index %d: new chunk %d starts at slot %d", i, c, s)
+			}
+			if prevS != uint32(chunkSize(prevC))-1 {
+				t.Fatalf("index %d: chunk %d abandoned at slot %d of %d", i, prevC, prevS, chunkSize(prevC))
+			}
+		default:
+			t.Fatalf("index %d: chunk jumped %d -> %d", i, prevC, c)
+		}
+		prevC, prevS = c, s
+	}
+	if prevC != rampChunks+2 {
+		t.Fatalf("walk ended in chunk %d, want %d", prevC, rampChunks+2)
+	}
+}
