@@ -18,6 +18,12 @@
 //	benchreport -benchtime 1x            # CI smoke: compile + run once
 //	benchreport -maxregress 0.25         # fail on >25% ns/op regression
 //	benchreport -bench MachineAccess     # subset by benchmark regexp
+//	benchreport -ratio 'BenchmarkTenantAccess/tenants=1 BenchmarkMachineAccess 2.0'
+//
+// The -ratio gate bounds one benchmark's ns/op against another's from
+// the same run: both sides move with the runner's speed, so the ratio
+// stays meaningful on noisy shared CI machines where absolute ns/op
+// thresholds do not.
 //
 // The JSON schema is stable ("benchreport/v1"): benchmarks are sorted
 // by package then name, names are stripped of the -GOMAXPROCS suffix,
@@ -76,6 +82,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "explicit baseline JSON (default: highest BENCH_<n>.json in -out)")
 		maxRegress = flag.Float64("maxregress", 0, "fail when any shared benchmark's ns/op regresses by more than this fraction (0 disables the gate)")
 		dry        = flag.Bool("dry", false, "measure and compare but do not write a snapshot")
+		ratio      = flag.String("ratio", "", "same-run ratio gate: \"NUM DEN MAX\" (whitespace-separated benchmark names and a bound) — fail when NUM's ns/op exceeds MAX x DEN's ns/op in this run")
 	)
 	flag.Parse()
 
@@ -124,6 +131,46 @@ func main() {
 	regressed := compare(os.Stdout, prev, rep, prevPath, *maxRegress)
 	if regressed {
 		fmt.Fprintf(os.Stderr, "benchreport: ns/op regression beyond %.0f%% threshold\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	checkRatio(rep, *ratio)
+}
+
+// checkRatio enforces the -ratio gate: both sides are measured in this
+// run on the same machine, so the ratio is robust to runner speed where
+// absolute ns/op bounds are not — the form CI uses to gate scheduler
+// overhead. Benchmark names cannot contain spaces, so the spec is
+// whitespace-separated. No-op on an empty spec; exits on failure.
+func checkRatio(rep *Report, spec string) {
+	if spec == "" {
+		return
+	}
+	f := strings.Fields(spec)
+	if len(f) != 3 {
+		fmt.Fprintf(os.Stderr, "benchreport: -ratio %q: want \"NUM DEN MAX\"\n", spec)
+		os.Exit(2)
+	}
+	bound, err := strconv.ParseFloat(f[2], 64)
+	if err != nil || bound <= 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: -ratio %q: bad bound %q\n", spec, f[2])
+		os.Exit(2)
+	}
+	find := func(name string) Bench {
+		for _, b := range rep.Benchmarks {
+			if b.Name == name {
+				return b
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: -ratio: benchmark %q not in this run (check -bench)\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}
+	num, den := find(f[0]), find(f[1])
+	r := num.NsPerOp / den.NsPerOp
+	fmt.Printf("ratio gate: %s %.1f ns/op / %s %.1f ns/op = %.2fx (bound %.2fx)\n",
+		num.Name, num.NsPerOp, den.Name, den.NsPerOp, r, bound)
+	if r > bound {
+		fmt.Fprintf(os.Stderr, "benchreport: ratio %.2fx exceeds the %.2fx bound\n", r, bound)
 		os.Exit(1)
 	}
 }

@@ -15,7 +15,9 @@ import (
 // failure messages depend on. Seeds 0..9 match the fuzz corpus;
 // 10/13/14/17 fill in HuntShape combinations (depth 2-4 with and
 // without benefit admission and the background mover) the first ten
-// under-cover.
+// under-cover. Seeds 0/2/3/5/17 also draw the sharded-tenant shape
+// (shards 2 and 4), so the sweep exercises the tenant-sharded
+// byte-identity cross-check at both shard counts.
 func TestScenarioSmokeSweep(t *testing.T) {
 	for _, seed := range []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 13, 14, 17} {
 		seed := seed

@@ -11,9 +11,11 @@ import (
 	"os"
 	"sync"
 
+	"memtis/internal/fastmod"
 	"memtis/internal/sim"
 	"memtis/internal/tenant"
 	"memtis/internal/tier"
+	"memtis/internal/workload"
 )
 
 // TenantLoad is the sweep's per-tenant synthetic workload: an 80/20
@@ -45,21 +47,55 @@ func (t *TenantLoad) RSSBytes() uint64 { return t.bytes }
 
 // Run drives the 90/10 skewed access loop over the tenant's region.
 func (t *TenantLoad) Run(m *sim.Machine, accesses uint64) {
-	r := m.Reserve(t.bytes)
+	s := t.Stream(workload.Env{Reserve: m.Reserve, Seed: m.Cfg.Seed})
+	for m.Accesses() < accesses {
+		m.Access(s.Step())
+	}
+}
+
+// Stream implements workload.Streamer: the reservation and the exact
+// SplitMix64 access stream of Run in resumable stepper form, so the
+// tenant scheduler drives the load inline (and the sharded tenant
+// driver replays it lane-side) with no goroutine parked per tenant.
+func (t *TenantLoad) Stream(env workload.Env) workload.Stream {
+	r := env.Reserve(t.bytes)
 	hot := r.Pages / 8
 	if hot == 0 {
 		hot = 1
 	}
-	base := splitmix64(uint64(m.Cfg.Seed) ^ fnv1a(t.name))
+	base := splitmix64(uint64(env.Seed) ^ fnv1a(t.name))
+	// Reciprocal remainders (exact, see internal/fastmod): the two span
+	// reductions are the only hardware divides left on the stepper path.
+	hotM, fullM := fastmod.New(hot), fastmod.New(r.Pages)
+	spans := [2]fastmod.M{hotM, fullM}
 	var ctr uint64
-	for m.Accesses() < accesses {
-		ctr++
-		x := splitmix64(base + ctr)
-		span := hot
-		if x%5 == 4 { // 20% of probes roam the full region
-			span = r.Pages
-		}
-		m.Access(r.BaseVPN+(x>>8)%span, x&7 == 0)
+	return workload.Stream{
+		Step: func() (uint64, bool) {
+			ctr++
+			x := splitmix64(base + ctr)
+			span := hotM
+			if x%5 == 4 { // 20% of probes roam the full region
+				span = fullM
+			}
+			return r.BaseVPN + span.Mod(x>>8), x&7 == 0
+		},
+		// Fill is Step's arithmetic unrolled over a batch (one closure
+		// call and counter write-back per slice batch, not per access),
+		// with the span picked by index so the 20% roam case is a
+		// predicate, not a mispredicted branch.
+		Fill: func(dst []sim.Op) {
+			c := ctr
+			for i := range dst {
+				c++
+				x := splitmix64(base + c)
+				k := 0
+				if x%5 == 4 {
+					k = 1
+				}
+				dst[i].VPN, dst[i].Write = r.BaseVPN+spans[k].Mod(x>>8), x&7 == 0
+			}
+			ctr = c
+		},
 	}
 }
 
@@ -120,11 +156,9 @@ func TenantMix(p TenantPoint, perTenantBytes uint64) (tenant.Config, uint64) {
 		}
 		rss += perTenantBytes
 	}
-	cfg := tenant.Config{Tenants: specs}
-	if p.Tenants >= 256 {
-		cfg.Slice = 256
-	}
-	return cfg, rss
+	// Slice stays 0: tenant.AutoSlice scales the quantum down for
+	// large mixes so the budget still spreads across every tenant.
+	return tenant.Config{Tenants: specs}, rss
 }
 
 // tenantSweepBytes sizes the per-tenant region so the whole mix stays
@@ -164,11 +198,51 @@ func RunTenants(tn *tenant.Runner, rss uint64, polName string, rt Ratio, cfg Con
 	return sim.Run(mc, NewPolicy(polName), tn, cfg.Accesses)
 }
 
+// RunTenantsSharded executes one tenant cell on an S-shard machine:
+// fast-tier sizing and seeding identical to RunTenants, but whole
+// tenants route across the shards (tenant.Runner.RunSharded) with one
+// fresh policy instance per shard. The capacity tier is provisioned
+// per shard at the full mix footprint: tenant routing places whole
+// address spaces, so a shard can end up hosting most of the mix (the
+// single-tenant reference puts everything on shard 0) and an evenly
+// divided capacity tier would run out of memory. Oversizing capacity
+// does not disturb the experiment — fast-tier contention is the
+// measured resource, and the unsharded capacity tier never fills
+// either. Trace and Topology are unsupported on sharded machines —
+// per-shard traces come from tenant.ShardedConfig.TraceFor, which
+// callers needing events must use directly.
+func RunTenantsSharded(tn *tenant.Runner, rss uint64, polName string, rt Ratio, cfg Config, shards int) (*tenant.ShardedResult, error) {
+	fast := uint64(float64(rss) * rt.FastFrac)
+	if fast < tier.HugePageSize*2 {
+		fast = tier.HugePageSize * 2
+	}
+	return tn.RunSharded(tenant.ShardedConfig{
+		Shards: shards,
+		Machine: sim.Config{
+			FastBytes: fast,
+			CapBytes:  uint64(shards) * (rss + rss/4 + 16*tier.HugePageSize),
+			CapKind:   cfg.CapKind,
+			THP:       true,
+			Threads:   cfg.Threads,
+			Seed:      cfg.Seed,
+			RecordNS:  cfg.RecordNS,
+			Faults:    cfg.Faults,
+			Admission: cfg.Admission,
+			Mover:     cfg.Mover,
+		},
+		PolicyFor: func(int) sim.Policy { return NewPolicy(polName) },
+	}, cfg.Accesses)
+}
+
 // TenantSweep runs every policy at every tenant point on one tiering
 // ratio. Points always include the single-tenant reference (prepended
 // when missing); each cell's Value is its throughput normalised to the
 // same policy's single-tenant run, so a value of 0.8 reads "this
 // policy loses 20% throughput under this degree of multi-tenancy".
+// With cfg.Shards > 1 every cell (including the single-tenant
+// reference) runs on an S-shard machine via RunTenantsSharded and
+// records the aggregate view, so sharded and unsharded sweeps stay
+// comparable cell for cell.
 func (r *Runner) TenantSweep(ctx context.Context, cfg Config, rt Ratio, pols []string, points []TenantPoint) (*Matrix, error) {
 	if pols == nil {
 		pols = Policies
@@ -178,6 +252,9 @@ func (r *Runner) TenantSweep(ctx context.Context, cfg Config, rt Ratio, pols []s
 	}
 	if points[0].Tenants != 1 {
 		points = append([]TenantPoint{{Tenants: 1, Skew: "flat"}}, points...)
+	}
+	if cfg.Shards > 1 && cfg.EventDir != "" {
+		return nil, fmt.Errorf("bench: tenant sweep: Shards and EventDir conflict — a sharded cell traces per shard, not per cell")
 	}
 	if cfg.EventDir != "" {
 		if err := os.MkdirAll(cfg.EventDir, 0o755); err != nil {
@@ -224,7 +301,16 @@ func (r *Runner) TenantSweep(ctx context.Context, cfg Config, rt Ratio, pols []s
 						fail(err)
 						return 0
 					}
-					results[slot] = RunTenants(runners[ti], rsses[ti], p, rt, ccfg)
+					if cfg.Shards > 1 {
+						sr, err := RunTenantsSharded(runners[ti], rsses[ti], p, rt, ccfg, cfg.Shards)
+						if err != nil {
+							fail(fmt.Errorf("bench: sharded tenant cell %s/%s: %w", coord, p, err))
+							return 0
+						}
+						results[slot] = sr.Aggregate
+					} else {
+						results[slot] = RunTenants(runners[ti], rsses[ti], p, rt, ccfg)
+					}
 					if err := closeTrace(); err != nil {
 						fail(err)
 					}

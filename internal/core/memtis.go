@@ -346,6 +346,18 @@ func (p *Policy) Capabilities() sim.Capability { return 0 }
 // Sampler exposes the PEBS controller for overhead reporting (§6.3.5).
 func (p *Policy) Sampler() *pebs.Sampler { return p.smp }
 
+// SampleGate implements sim.FastSampled: on every variant except
+// hybrid scanning, OnAccess does nothing on a non-faulting access the
+// sampler ignores, so the machine may serve those accesses through its
+// policy bypass. HybridScan marks every touched page's scan-referenced
+// flag per access and must keep seeing the full stream.
+func (p *Policy) SampleGate() *pebs.Sampler {
+	if p.cfg.HybridScan {
+		return nil
+	}
+	return p.smp
+}
+
 // deref reads a registry cell that may not be bound yet (before
 // Attach the accessors report zero).
 func deref(c *uint64) uint64 {

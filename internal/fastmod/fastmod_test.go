@@ -1,0 +1,70 @@
+package fastmod
+
+import (
+	"math"
+	"testing"
+)
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// TestModExact checks the reciprocal remainder against the % operator:
+// edge and random dividends crossed with edge divisors, powers of two,
+// the span and set-count sizes the simulator actually uses, and random
+// divisors. The construction is exact for all 64-bit inputs, so any
+// mismatch at all is a bug.
+func TestModExact(t *testing.T) {
+	divs := []uint64{
+		1, 2, 3, 5, 7, 8, 255, 256, 257, 512, 4095, 4096,
+		// TLB set counts (entries/ways rounded up) and TenantLoad spans:
+		// pages of 1MiB..64MiB regions and their /8 hot sets.
+		192, 128, 32, 2048, 16384, 1 << 20, 1 << 17,
+		(1 << 32) - 1, 1 << 32, (1 << 32) + 1,
+		math.MaxUint64, math.MaxUint64 - 1, math.MaxUint64 / 3,
+	}
+	ns := []uint64{
+		0, 1, 2, 3, 254, 255, 256, 4095, 4096, 4097,
+		(1 << 32) - 1, 1 << 32, (1 << 32) + 1,
+		math.MaxUint64, math.MaxUint64 - 1,
+	}
+	for _, d := range divs {
+		f := New(d)
+		for _, n := range ns {
+			if got, want := f.Mod(n), n%d; got != want {
+				t.Fatalf("Mod(%d) for d=%d: got %d want %d", n, d, got, want)
+			}
+		}
+		// Random dividends, and dividends clustered around multiples of d.
+		x := d ^ 0x9e3779b97f4a7c15
+		for i := 0; i < 2000; i++ {
+			x = splitmix(x)
+			if got, want := f.Mod(x), x%d; got != want {
+				t.Fatalf("Mod(%d) for d=%d: got %d want %d", x, d, got, want)
+			}
+			near := (x % 64) * (d / 2) // wraps freely; still a valid dividend
+			if got, want := f.Mod(near), near%d; got != want {
+				t.Fatalf("Mod(%d) for d=%d: got %d want %d", near, d, got, want)
+			}
+		}
+	}
+	// Random divisors x random dividends.
+	x := uint64(0xdeadbeefcafe)
+	for i := 0; i < 500; i++ {
+		x = splitmix(x)
+		d := x | 1 // avoid 0
+		f := New(d)
+		y := x
+		for j := 0; j < 50; j++ {
+			y = splitmix(y)
+			if got, want := f.Mod(y), y%d; got != want {
+				t.Fatalf("Mod(%d) for d=%d: got %d want %d", y, d, got, want)
+			}
+		}
+	}
+}

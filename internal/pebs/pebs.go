@@ -50,12 +50,20 @@ func DefaultConfig() Config {
 // Sampler emits a Sample every loadPeriod-th load (and storePeriod-th
 // store) fed to it, and self-adjusts its period from its own measured
 // CPU usage. It is driven with virtual time by the simulator.
+//
+// The per-kind state is a precomputed skip countdown rather than an
+// incrementing counter compared against the period: a non-sampled
+// access costs one decrement and one branch on the hot path, and the
+// countdown value doubles as the distance to the next sample, which is
+// what lets FeedFast prove an access cannot sample without consulting
+// the period at all.
 type Sampler struct {
 	cfg         Config
 	loadPeriod  uint64
 	storePeriod uint64
-	loadCtr     uint64
-	storeCtr    uint64
+	loadRem     uint64 // loads until the next load sample (fires at 0)
+	storeRem    uint64 // stores until the next store sample
+	nextAdjust  uint64 // virtual deadline of the next controller run
 
 	// Trace receives sampler_adjust/sampler_overflow events from the
 	// period controller. Set by the owning policy at Attach.
@@ -99,26 +107,58 @@ func NewSampler(cfg Config) *Sampler {
 	if cfg.AdjustNS == 0 {
 		cfg.AdjustNS = def.AdjustNS
 	}
-	return &Sampler{cfg: cfg, loadPeriod: cfg.LoadPeriod, storePeriod: cfg.StorePeriod}
+	return &Sampler{
+		cfg:         cfg,
+		loadPeriod:  cfg.LoadPeriod,
+		storePeriod: cfg.StorePeriod,
+		loadRem:     cfg.LoadPeriod,
+		storeRem:    cfg.StorePeriod,
+		nextAdjust:  cfg.AdjustNS,
+	}
 }
 
 // Feed presents one memory access to the PMU. It returns (sample, true)
 // when this access is the one the PMU samples.
 func (s *Sampler) Feed(vpn uint64, write bool) (Sample, bool) {
 	if write {
-		s.storeCtr++
-		if s.storeCtr >= s.storePeriod {
-			s.storeCtr = 0
+		s.storeRem--
+		if s.storeRem == 0 {
+			s.storeRem = s.storePeriod
 			return s.emit(vpn, true), true
 		}
 		return Sample{}, false
 	}
-	s.loadCtr++
-	if s.loadCtr >= s.loadPeriod {
-		s.loadCtr = 0
+	s.loadRem--
+	if s.loadRem == 0 {
+		s.loadRem = s.loadPeriod
 		return s.emit(vpn, false), true
 	}
 	return Sample{}, false
+}
+
+// FeedFast consumes one access if and only if doing so is provably
+// equivalent to Feed followed by MaybeAdjust(now) with neither firing:
+// the countdown for the access kind does not reach zero and the period
+// controller is not yet due. It returns false — consuming nothing —
+// when the caller must take the full Feed/MaybeAdjust path instead, so
+// the sample stream and adjustment schedule stay byte-identical
+// whichever mix of the two entry points drives the sampler.
+func (s *Sampler) FeedFast(write bool, now uint64) bool {
+	if now >= s.nextAdjust {
+		return false
+	}
+	if write {
+		if s.storeRem <= 1 {
+			return false
+		}
+		s.storeRem--
+		return true
+	}
+	if s.loadRem <= 1 {
+		return false
+	}
+	s.loadRem--
+	return true
 }
 
 func (s *Sampler) emit(vpn uint64, write bool) Sample {
@@ -132,13 +172,14 @@ func (s *Sampler) emit(vpn uint64, write bool) Sample {
 // time elapsed since the previous invocation (§4.1.1). now is the
 // simulator's virtual clock.
 func (s *Sampler) MaybeAdjust(now uint64) {
-	if now < s.lastAdjust+s.cfg.AdjustNS {
+	if now < s.nextAdjust {
 		return
 	}
 	elapsed := now - s.lastAdjust
 	if s.lastAdjust == 0 && s.winSamples == 0 {
 		// Nothing observed yet; just start the window.
 		s.lastAdjust = now
+		s.nextAdjust = now + s.cfg.AdjustNS
 		return
 	}
 	usage := float64(s.winSamples*s.cfg.CostNS) / float64(elapsed)
@@ -169,6 +210,7 @@ func (s *Sampler) MaybeAdjust(now uint64) {
 	s.adjustments++
 	s.winSamples = 0
 	s.lastAdjust = now
+	s.nextAdjust = now + s.cfg.AdjustNS
 }
 
 func (s *Sampler) setLoadPeriod(p uint64) {
@@ -179,11 +221,28 @@ func (s *Sampler) setLoadPeriod(p uint64) {
 		p = s.cfg.MaxPeriod
 	}
 	// Stores scale with the same factor relative to the initial ratio.
-	s.storePeriod = p * (s.cfg.StorePeriod / s.cfg.LoadPeriod)
-	if s.storePeriod == 0 {
-		s.storePeriod = 1
+	sp := p * (s.cfg.StorePeriod / s.cfg.LoadPeriod)
+	if sp == 0 {
+		sp = 1
 	}
+	s.loadRem = retarget(s.loadRem, s.loadPeriod, p)
+	s.storeRem = retarget(s.storeRem, s.storePeriod, sp)
 	s.loadPeriod = p
+	s.storePeriod = sp
+}
+
+// retarget translates a skip countdown taken against oldP onto newP,
+// preserving the count of accesses already elapsed in the current
+// window: the next sample still fires once newP accesses have passed
+// since the previous one, or on the very next access when that point
+// is already overdue — exactly what an incrementing counter compared
+// against the new period would do.
+func retarget(rem, oldP, newP uint64) uint64 {
+	done := oldP - rem
+	if done >= newP {
+		return 1
+	}
+	return newP - done
 }
 
 func maxu(a, b uint64) uint64 {

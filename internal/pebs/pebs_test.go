@@ -128,3 +128,187 @@ func TestQuickSampleRateBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// refSampler replicates the pre-countdown sampler: incrementing
+// per-kind counters compared against the period on every access, with
+// the same controller arithmetic. The countdown rewrite must match it
+// decision-for-decision, including across period adjustments.
+type refSampler struct {
+	cfg         Config
+	loadPeriod  uint64
+	storePeriod uint64
+	loadCtr     uint64
+	storeCtr    uint64
+	winSamples  uint64
+	lastAdjust  uint64
+	emaCPU      float64
+	emaValid    bool
+	samples     uint64
+}
+
+func (r *refSampler) feed(write bool) bool {
+	if write {
+		r.storeCtr++
+		if r.storeCtr >= r.storePeriod {
+			r.storeCtr = 0
+			r.samples++
+			r.winSamples++
+			return true
+		}
+		return false
+	}
+	r.loadCtr++
+	if r.loadCtr >= r.loadPeriod {
+		r.loadCtr = 0
+		r.samples++
+		r.winSamples++
+		return true
+	}
+	return false
+}
+
+func (r *refSampler) maybeAdjust(now uint64) {
+	if now < r.lastAdjust+r.cfg.AdjustNS {
+		return
+	}
+	elapsed := now - r.lastAdjust
+	if r.lastAdjust == 0 && r.winSamples == 0 {
+		r.lastAdjust = now
+		return
+	}
+	usage := float64(r.winSamples*r.cfg.CostNS) / float64(elapsed)
+	if r.emaValid {
+		r.emaCPU = 0.7*r.emaCPU + 0.3*usage
+	} else {
+		r.emaCPU = usage
+		r.emaValid = true
+	}
+	switch {
+	case r.emaCPU > r.cfg.CPUBudget+r.cfg.Hysteresis:
+		r.setLoadPeriod(r.loadPeriod + maxu(r.loadPeriod/4, 50))
+	case r.emaCPU < r.cfg.CPUBudget-r.cfg.Hysteresis && r.loadPeriod > r.cfg.MinPeriod:
+		r.setLoadPeriod(r.loadPeriod - maxu(r.loadPeriod/8, 25))
+	}
+	r.winSamples = 0
+	r.lastAdjust = now
+}
+
+func (r *refSampler) setLoadPeriod(p uint64) {
+	if p < r.cfg.MinPeriod {
+		p = r.cfg.MinPeriod
+	}
+	if p > r.cfg.MaxPeriod {
+		p = r.cfg.MaxPeriod
+	}
+	r.storePeriod = p * (r.cfg.StorePeriod / r.cfg.LoadPeriod)
+	if r.storePeriod == 0 {
+		r.storePeriod = 1
+	}
+	r.loadPeriod = p
+}
+
+func splitmixT(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// TestCountdownMatchesReferenceCounter drives the countdown sampler
+// and the incrementing reference through an identical pseudorandom
+// load/store stream whose pacing alternates between over- and
+// under-budget phases (so the controller both throttles and relaxes),
+// asserting identical sampling decisions at every access and identical
+// periods after every controller window.
+func TestCountdownMatchesReferenceCounter(t *testing.T) {
+	cfg := Config{
+		LoadPeriod: 20, StorePeriod: 200, MinPeriod: 20, MaxPeriod: 140,
+		CPUBudget: 0.03, Hysteresis: 0.005, CostNS: 160, AdjustNS: 50_000,
+	}
+	s := NewSampler(cfg)
+	ref := &refSampler{cfg: cfg, loadPeriod: cfg.LoadPeriod, storePeriod: cfg.StorePeriod}
+	var now uint64
+	for i := 0; i < 2_000_000; i++ {
+		x := splitmixT(uint64(i))
+		write := x&7 == 0
+		_, got := s.Feed(x, write)
+		want := ref.feed(write)
+		if got != want {
+			t.Fatalf("access %d (write=%v): countdown sampled=%v, reference=%v", i, write, got, want)
+		}
+		// Alternate pacing phases every 250k accesses so both throttle
+		// (fast phase, over budget) and relax (slow phase) paths run.
+		if i/250_000%2 == 0 {
+			now += 40
+		} else {
+			now += 1200
+		}
+		s.MaybeAdjust(now)
+		ref.maybeAdjust(now)
+		if s.LoadPeriod() != ref.loadPeriod || s.StorePeriod() != ref.storePeriod {
+			t.Fatalf("access %d: periods diverged: countdown %d/%d, reference %d/%d",
+				i, s.LoadPeriod(), s.StorePeriod(), ref.loadPeriod, ref.storePeriod)
+		}
+	}
+	if s.Samples() != ref.samples {
+		t.Fatalf("total samples: countdown %d, reference %d", s.Samples(), ref.samples)
+	}
+	if s.Adjustments() == 0 || s.LoadPeriod() == cfg.LoadPeriod && s.Adjustments() < 2 {
+		t.Fatalf("controller never exercised: %d adjustments", s.Adjustments())
+	}
+}
+
+// TestFeedFastMatchesFeed drives one sampler through the fast-path
+// protocol (FeedFast first, full Feed+MaybeAdjust only when it
+// declines) and a second through the full path alone, over the same
+// stream: the two must emit identical sample streams and end in
+// identical states. This is the machine's policy-bypass contract.
+func TestFeedFastMatchesFeed(t *testing.T) {
+	cfg := Config{
+		LoadPeriod: 20, StorePeriod: 200, MinPeriod: 20, MaxPeriod: 140,
+		CPUBudget: 0.03, Hysteresis: 0.005, CostNS: 160, AdjustNS: 50_000,
+	}
+	fast := NewSampler(cfg)
+	full := NewSampler(cfg)
+	var now uint64
+	var fastSamples, fastBypassed uint64
+	for i := 0; i < 2_000_000; i++ {
+		x := splitmixT(uint64(i) ^ 0xabcdef)
+		write := x&7 == 0
+		if i/250_000%2 == 0 {
+			now += 40
+		} else {
+			now += 1200
+		}
+		var got bool
+		if fast.FeedFast(write, now) {
+			fastBypassed++
+		} else {
+			_, got = fast.Feed(x, write)
+			fast.MaybeAdjust(now)
+		}
+		_, want := full.Feed(x, write)
+		full.MaybeAdjust(now)
+		if got != want {
+			t.Fatalf("access %d (write=%v): fast-path sampled=%v, full path=%v", i, write, got, want)
+		}
+		if got {
+			fastSamples++
+		}
+		if fast.LoadPeriod() != full.LoadPeriod() || fast.StorePeriod() != full.StorePeriod() {
+			t.Fatalf("access %d: periods diverged: fast %d/%d, full %d/%d",
+				i, fast.LoadPeriod(), fast.StorePeriod(), full.LoadPeriod(), full.StorePeriod())
+		}
+	}
+	if fast.Samples() != full.Samples() || fast.Samples() != fastSamples {
+		t.Fatalf("samples: fast %d (observed %d), full %d", fast.Samples(), fastSamples, full.Samples())
+	}
+	if fast.Adjustments() != full.Adjustments() {
+		t.Fatalf("adjustments: fast %d, full %d", fast.Adjustments(), full.Adjustments())
+	}
+	if fastBypassed == 0 {
+		t.Fatal("fast path never taken; the bypass is not exercised")
+	}
+}

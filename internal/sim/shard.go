@@ -9,11 +9,22 @@
 // its op subsequence, independent of goroutine interleaving — so
 // parallel runs are byte-identical to the Sequential reference mode,
 // which applies the same subsequences inline.
+//
+// Two routing modes share the lane machinery. Block routing
+// (Access/Reserve/FreeRegion) interleaves one address space across the
+// shards by 2MB block. Tenant routing (UseOn/AccessOn/ReserveOn/
+// FreeOn/HookOn, DESIGN.md §13) instead places whole tenants: the
+// caller names the shard, each tenant lives as one private address
+// space on exactly one shard machine, and extHook ops let the caller
+// run machine-state-dependent actions at deterministic stream
+// positions. The tenant scheduler's sharded driver (internal/tenant)
+// is the client of that mode.
 package sim
 
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"memtis/internal/obs"
 	"memtis/internal/tier"
@@ -47,13 +58,26 @@ type ShardedConfig struct {
 // Ops are packed one per uint64 with the kind in the low two bits so a
 // lane buffer is a flat word stream (8 bytes per access, not a struct):
 // read and write carry the shard-local VPN in the upper bits; reserve
-// and free are marker words followed by two raw operand words
-// (bytes + expected local base, and local base + pages, respectively).
+// is a marker word followed by two raw operand words (bytes + expected
+// local base). Kind 3 is the extension escape: bits 2-4 select the
+// sub-kind and the payload sits above bit 5. extFree is sub-kind 0, so
+// a free marker is still the bare word 3 the original encoding used;
+// extUse (switch the shard machine's current address space) and
+// extHook (run the lane's hook callback with the payload) carry the
+// tenant-sharded control plane — see the tenant routing notes on
+// Sharded.
 const (
 	opRead uint64 = iota
 	opWrite
 	opReserve
-	opFree
+	opExt
+)
+
+// opExt sub-kinds, pre-shifted into bits 2-4.
+const (
+	extFree uint64 = iota << 2 // + local base, pages operand words
+	extUse                     // payload: address-space index
+	extHook                    // payload: opaque hook argument
 )
 
 // shardChunk is the dispatch threshold: a lane whose pending buffer
@@ -73,6 +97,13 @@ type shardLane struct {
 	done     chan struct{}
 	inflight bool
 	blocks   uint64 // 2MB blocks reserved on this shard so far
+	// hook, when set (SetHook, before the first dispatch), runs extHook
+	// ops on the lane's goroutine. It may touch the shard machine and
+	// its tracer — both belong to the worker at that point — which is
+	// how tenant-sharded runs execute machine-state-dependent actions
+	// (exit frees, floor checks, lifecycle trace events) at a
+	// deterministic position in the op stream.
+	hook func(m *Machine, arg uint64)
 }
 
 func (l *shardLane) run() {
@@ -100,9 +131,16 @@ func (l *shardLane) apply(ops []uint64) {
 				panic(fmt.Sprintf("sim: shard reserve at local vpn %d, expected %d", r.BaseVPN, ops[i+2]))
 			}
 			i += 2
-		case opFree:
-			l.m.FreeRegion(vm.Region{BaseVPN: ops[i+1], Pages: ops[i+2]})
-			i += 2
+		case opExt:
+			switch w & (7 << 2) {
+			case extFree:
+				l.m.FreeRegion(vm.Region{BaseVPN: ops[i+1], Pages: ops[i+2]})
+				i += 2
+			case extUse:
+				l.m.UseSpace(int(w >> 5))
+			case extHook:
+				l.hook(l.m, w>>5)
+			}
 		}
 	}
 }
@@ -296,10 +334,93 @@ func (s *Sharded) FreeRegion(r vm.Region) {
 		first := base + (i+s.n-base%s.n)%s.n
 		_, lblk := s.route(first)
 		l := s.lanes[i]
-		l.pending = append(l.pending, opFree, lblk*tier.SubPages, cnt*tier.SubPages)
+		l.pending = append(l.pending, opExt|extFree, lblk*tier.SubPages, cnt*tier.SubPages)
 		if len(l.pending) >= shardChunk {
 			s.dispatch(l)
 		}
+	}
+}
+
+// Tenant routing: the methods below enqueue ops on an explicitly named
+// shard instead of routing by 2MB block, so a driver can place whole
+// tenants — each one a private address space on exactly one shard
+// machine — across the shards (the tenant scheduler routes tenant t to
+// shard t%S as local space t/S). VPNs here are space-local and pass
+// through untranslated; the caller owns base prediction for ReserveOn
+// (the lane panics on a mismatch, same invariant as block-routed
+// reserves).
+
+// SetHook installs shard i's hook callback for HookOn ops. Call before
+// the first dispatch: the hook runs on the worker goroutine.
+func (s *Sharded) SetHook(i int, fn func(m *Machine, arg uint64)) { s.lanes[i].hook = fn }
+
+// UseOn makes space the target of subsequent ops on shard i.
+func (s *Sharded) UseOn(i, space int) {
+	l := s.lanes[i]
+	l.pending = append(l.pending, opExt|extUse|uint64(space)<<5)
+	if len(l.pending) >= shardChunk {
+		s.dispatch(l)
+	}
+}
+
+// HookOn runs shard i's hook with arg, in stream order (59 usable
+// payload bits).
+func (s *Sharded) HookOn(i int, arg uint64) {
+	l := s.lanes[i]
+	l.pending = append(l.pending, opExt|extHook|arg<<5)
+	if len(l.pending) >= shardChunk {
+		s.dispatch(l)
+	}
+}
+
+// AccessOn enqueues one access to shard i's current space (vpn is
+// space-local, not block-routed).
+func (s *Sharded) AccessOn(i int, vpn uint64, write bool) {
+	var w uint64
+	if write {
+		w = opWrite
+	}
+	l := s.lanes[i]
+	l.pending = append(l.pending, vpn<<2|w)
+	if len(l.pending) >= shardChunk {
+		s.dispatch(l)
+	}
+}
+
+// AccessBatchOn enqueues a batch of accesses to shard i's current
+// space — the tenant scheduler's slice issue path.
+func (s *Sharded) AccessBatchOn(i int, ops []Op) {
+	l := s.lanes[i]
+	for _, op := range ops {
+		var w uint64
+		if op.Write {
+			w = opWrite
+		}
+		l.pending = append(l.pending, op.VPN<<2|w)
+		if len(l.pending) >= shardChunk {
+			s.dispatch(l)
+		}
+	}
+}
+
+// ReserveOn reserves bytes in shard i's current space. expectBase is
+// the caller-predicted space-local base VPN; the lane asserts the
+// shard machine agrees.
+func (s *Sharded) ReserveOn(i int, bytes, expectBase uint64) {
+	l := s.lanes[i]
+	l.pending = append(l.pending, opReserve, bytes, expectBase)
+	if len(l.pending) >= shardChunk {
+		s.dispatch(l)
+	}
+}
+
+// FreeOn unmaps a space-local region in shard i's current space (no
+// whole-block restriction: the region is not block-interleaved).
+func (s *Sharded) FreeOn(i int, base, pages uint64) {
+	l := s.lanes[i]
+	l.pending = append(l.pending, opExt|extFree, base, pages)
+	if len(l.pending) >= shardChunk {
+		s.dispatch(l)
 	}
 }
 
@@ -345,15 +466,23 @@ func (s *Sharded) Finish(workload string) []Result {
 // AggregateShards folds per-shard results into one machine-level view:
 // counts and stats sum, virtual and wall time are the slowest shard's
 // (shards run concurrently), throughput is total accesses over that
-// wall time, and ratios are access-weighted. Series, Counters and
-// Tenants stay per-shard (nil here) — merging them would interleave
-// unrelated clocks.
+// wall time, and ratios are access-weighted. Series and Counters stay
+// per-shard (nil here) — merging them would interleave unrelated
+// clocks. Per-tenant rows, when present, merge: tenant-sharded runs
+// route tenant t to shard t%S as local space t/S, so a local row with
+// ID l on shard i is global tenant l*S+i — the aggregate re-labels
+// every row with its global ID and sorts, giving one machine-level
+// tenant table across the shards.
 func AggregateShards(rs []Result) Result {
 	var agg Result
 	var fastHits float64
 	for i, r := range rs {
 		if i == 0 {
 			agg.Policy, agg.Workload = r.Policy, r.Workload
+		}
+		for _, tr := range r.Tenants {
+			tr.ID = tr.ID*len(rs) + i
+			agg.Tenants = append(agg.Tenants, tr)
 		}
 		agg.Accesses += r.Accesses
 		if r.AppNS > agg.AppNS {
@@ -375,6 +504,7 @@ func AggregateShards(rs []Result) Result {
 	if agg.Accesses > 0 {
 		agg.FastHitRatio = fastHits / float64(agg.Accesses)
 	}
+	sort.Slice(agg.Tenants, func(a, b int) bool { return agg.Tenants[a].ID < agg.Tenants[b].ID })
 	if agg.WallNS > 0 {
 		agg.Throughput = float64(agg.Accesses) / (float64(agg.WallNS) / 1e9)
 	}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"memtis/internal/obs"
+	"memtis/internal/pebs"
 	"memtis/internal/tier"
 	"memtis/internal/tlb"
 	"memtis/internal/vm"
@@ -86,6 +87,24 @@ func (c Capability) Has(want Capability) bool { return c&want == want }
 // harness can plot identified hot/warm/cold set sizes (Figures 2 and 9).
 type HotSetReporter interface {
 	HotSet() (hotBytes, warmBytes, coldBytes uint64)
+}
+
+// FastSampled is implemented by policies whose OnAccess, on a
+// non-faulting access the PEBS sampler ignores, provably does nothing
+// and returns zero stall — the MEMTIS shape: feed the sampler, act
+// only on samples, run the period controller on its own schedule. For
+// such policies the machine serves non-sampled steady-state accesses
+// through the TouchFast/FeedFast bypass, skipping the TouchResult and
+// the OnAccess call entirely while keeping sample streams, adjustment
+// schedules and event traces byte-identical (pebs.Sampler.FeedFast
+// consumes an access only when neither a sample nor a controller run
+// is due, so the full path still sees exactly the accesses it would
+// have acted on).
+type FastSampled interface {
+	// SampleGate returns the sampler gating the bypass, or nil when a
+	// mode of the policy does per-access work (e.g. hybrid scanning)
+	// and must see every access.
+	SampleGate() *pebs.Sampler
 }
 
 // Config describes the simulated machine.
@@ -207,6 +226,11 @@ type Machine struct {
 	Pol   Policy
 	Rand  *rand.Rand
 	reg   *obs.Registry
+
+	// fastSmp is the attached policy's sampler when it declared the
+	// FastSampled bypass (nil otherwise): the Access fast path that
+	// skips OnAccess for provably ignored accesses.
+	fastSmp *pebs.Sampler
 
 	// topo is Cfg.Topology (nil on the historical two-tier path); new
 	// address spaces inherit its hop-cost model.
@@ -356,6 +380,9 @@ func NewMachine(cfg Config, pol Policy) *Machine {
 	if pol != nil {
 		m.AS.SetPlacer(policyPlacer{pol})
 		pol.Attach(m)
+		if fs, ok := pol.(FastSampled); ok {
+			m.fastSmp = fs.SampleGate()
+		}
 	} else {
 		m.AS.SetPlacer(defaultPlacer{})
 	}
@@ -672,12 +699,22 @@ func (m *Machine) Access(vpn uint64, write bool) {
 	// TouchResult built at all; only first writes and demand faults drop
 	// into the full TouchLite machinery.
 	var tr vm.TouchResult
-	if m.Pol == nil {
+	pol := m.Pol
+	if pol == nil {
 		if t, huge, ok := m.cur.TouchFast(vpn, write); ok {
 			tr.Tier, tr.Huge = t, huge
 		} else {
 			tr = m.cur.TouchLite(vpn, write)
 		}
+	} else if m.fastSmp == nil {
+		tr = m.cur.Touch(vpn, write)
+	} else if t, huge, ok := m.cur.TouchFast(vpn, write); ok && m.fastSmp.FeedFast(write, m.now) {
+		// FastSampled bypass: the access is mapped and steady-state
+		// (TouchFast had no side effects) and the sampler provably
+		// ignores it (FeedFast consumed it), so OnAccess would have
+		// done nothing and returned zero — skip it and the TouchResult.
+		tr.Tier, tr.Huge = t, huge
+		pol = nil
 	} else {
 		tr = m.cur.Touch(vpn, write)
 	}
@@ -712,8 +749,8 @@ func (m *Machine) Access(vpn uint64, write bool) {
 			}
 		}
 	}
-	if m.Pol != nil {
-		cost += m.Pol.OnAccess(tr, tvpn, write)
+	if pol != nil {
+		cost += pol.OnAccess(tr, tvpn, write)
 	}
 	// advance(cost), spelled out: advance does not inline, and this is
 	// the one call site hot enough for that to matter.
@@ -755,9 +792,80 @@ type Op struct {
 // indirection) across a buffer of pre-generated accesses; ops whose
 // generation depends on machine state mutated mid-batch (frees,
 // reservations) must keep using Access.
+//
+// The inner loop is Access's FastSampled bypass unrolled across the
+// batch: one op costs a TouchFast, a FeedFast, a TLB probe and the
+// counter updates, with the call into Access (and its rare-path
+// branches) paid only by ops that fault, sample, or run under a fault
+// plan or observer. The operations and their order are identical to
+// Access's per op — the tenant_equiv goldens pin this.
 func (m *Machine) AccessBatch(ops []Op) {
-	for i := range ops {
-		m.Access(ops[i].VPN, ops[i].Write)
+	i := 0
+	for i < len(ops) {
+		if m.fastSmp != nil && m.faults == nil && m.AccessObserver == nil {
+			// Batch-invariant fields and the hot counters live in
+			// locals, so the loop keeps them in registers across the
+			// (non-inlined) TLB probe instead of reloading the Machine
+			// struct every op. cur/curTag/multi cannot change mid-batch
+			// (scheduling is a batch boundary); the counters are
+			// flushed back before anything that can observe them —
+			// tick/record delivery and the Access fallback below.
+			cur, tag, smp, tl, multi := m.cur, m.curTag, m.fastSmp, m.TLB, m.multi
+			ldp, stp := &m.loadNS, &m.storeNS
+			now, acc, fh := m.now, m.accesses, m.fastHits
+			// One fused boundary guards both tick and record delivery;
+			// the delivery block re-checks each exactly like Access.
+			stop := m.nextTick
+			if m.nextRecord < stop {
+				stop = m.nextRecord
+			}
+			for i < len(ops) {
+				vpn, write := ops[i].VPN, ops[i].Write
+				t, huge, ok := cur.TouchFast(vpn, write)
+				if !ok || !smp.FeedFast(write, now) {
+					// Not steady-state or the sampler wants it: replay
+					// through Access (TouchFast and a refused FeedFast
+					// are both side-effect-free, so the replay is exact).
+					break
+				}
+				cost := tl.Access(vpn|tag, huge)
+				lat := ldp
+				if write {
+					lat = stp
+				}
+				cost += lat[t]
+				if t == tier.FastTier {
+					fh++
+				}
+				now += cost
+				acc++
+				if multi {
+					m.spaceAcc[m.curID]++
+				}
+				i++
+				if now >= stop {
+					m.now, m.accesses, m.fastHits = now, acc, fh
+					if now >= m.nextTick {
+						m.deliverTicks()
+					}
+					if now >= m.nextRecord {
+						m.deliverRecords()
+					}
+					// A policy tick may advance time (AdvanceBackground);
+					// re-sync the register copies with the machine.
+					now, acc, fh = m.now, m.accesses, m.fastHits
+					stop = m.nextTick
+					if m.nextRecord < stop {
+						stop = m.nextRecord
+					}
+				}
+			}
+			m.now, m.accesses, m.fastHits = now, acc, fh
+		}
+		if i < len(ops) {
+			m.Access(ops[i].VPN, ops[i].Write)
+			i++
+		}
 	}
 }
 

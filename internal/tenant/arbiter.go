@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"memtis/internal/sim"
 	"memtis/internal/tier"
 	"memtis/internal/vm"
 )
@@ -24,8 +25,18 @@ type tenantCells struct {
 // shares. It sees migrations *after* the policy decided to move a page
 // and can only say no, so every policy inherits the same fairness
 // semantics without knowing tenants exist.
+//
+// An arbiter binds to one machine and the tenants hosted on it, not to
+// a scheduler: the plain runner builds one over the whole mix, the
+// sharded runner builds one per shard over that shard's local tenants
+// (each shard's fast tier is the only one its tenants contend for, so
+// the local mix is the correct contention domain). Liveness flows in
+// through addLive/removeLive at the same stream positions the plain
+// scheduler flips them.
 type arbiter struct {
-	st *run
+	m     *sim.Machine
+	specs []*Spec // per hosted tenant, space order
+	live  []bool  // mirrors the scheduler's tenant liveness
 
 	weights []uint64 // per-tenant share weight (>= 1)
 	sumW    uint64   // Σ weights over live tenants
@@ -53,10 +64,12 @@ type arbiter struct {
 	cells []tenantCells
 }
 
-func newArbiter(st *run) *arbiter {
-	n := len(st.cfg.Tenants)
+func newArbiter(m *sim.Machine, specs []*Spec, names []string) *arbiter {
+	n := len(specs)
 	a := &arbiter{
-		st:                st,
+		m:                 m,
+		specs:             specs,
+		live:              make([]bool, n),
 		weights:           make([]uint64, n),
 		floors:            make([]uint64, n),
 		warmed:            make([]bool, n),
@@ -65,11 +78,10 @@ func newArbiter(st *run) *arbiter {
 		contendedPromoted: make([]uint64, n),
 		cells:             make([]tenantCells, n),
 	}
-	capFrames := st.m.Fast.CapacityFrames()
+	capFrames := m.Fast.CapacityFrames()
 	a.contendThresh = max(4*tier.SubPages, capFrames/8)
 	var totalFloor uint64
-	for i := range st.cfg.Tenants {
-		t := &st.cfg.Tenants[i]
+	for i, t := range specs {
 		a.weights[i] = max(t.Weight, 1)
 		a.floors[i] = t.FloorBytes / tier.BasePageSize
 		totalFloor += a.floors[i]
@@ -82,8 +94,8 @@ func newArbiter(st *run) *arbiter {
 			a.floors[i] = a.floors[i] * budget / totalFloor
 		}
 	}
-	reg := st.m.Counters()
-	for i, name := range st.names {
+	reg := m.Counters()
+	for i, name := range names {
 		g := reg.Group("tenant/" + name)
 		a.cells[i] = tenantCells{
 			promoDenied:   g.Counter("promotions_denied"),
@@ -100,13 +112,13 @@ func newArbiter(st *run) *arbiter {
 
 func (a *arbiter) weight(i int) uint64 { return a.weights[i] }
 
-func (a *arbiter) addLive(i int)    { a.sumW += a.weights[i] }
-func (a *arbiter) removeLive(i int) { a.sumW -= a.weights[i] }
+func (a *arbiter) addLive(i int)    { a.live[i] = true; a.sumW += a.weights[i] }
+func (a *arbiter) removeLive(i int) { a.live[i] = false; a.sumW -= a.weights[i] }
 
 // effFloor is the floor a tenant can actually be held to right now:
 // a tenant smaller than its floor is only guaranteed its own size.
 func (a *arbiter) effFloor(i int) uint64 {
-	return min(a.floors[i], a.st.m.Space(i).ResidentUnits())
+	return min(a.floors[i], a.m.Space(i).ResidentUnits())
 }
 
 // veto is the shared vm.MigrateVeto. It is consulted by MigrateTx for
@@ -117,7 +129,7 @@ func (a *arbiter) effFloor(i int) uint64 {
 func (a *arbiter) veto(pg *vm.Page, dst tier.ID, units uint64) bool {
 	i := int(pg.Owner)
 	c := &a.cells[i]
-	if adm := a.st.cfg.Tenants[i].Admit; adm != nil && !adm(pg, dst, false) {
+	if adm := a.specs[i].Admit; adm != nil && !adm(pg, dst, false) {
 		if dst == tier.FastTier {
 			*c.promoDenied++
 		} else {
@@ -125,7 +137,7 @@ func (a *arbiter) veto(pg *vm.Page, dst tier.ID, units uint64) bool {
 		}
 		return false
 	}
-	fu := a.st.m.Space(i).FastUnits()
+	fu := a.m.Space(i).FastUnits()
 	if dst != tier.FastTier {
 		// Demotion: never push a tenant below its effective floor.
 		if fu < a.effFloor(i)+units {
@@ -139,7 +151,7 @@ func (a *arbiter) veto(pg *vm.Page, dst tier.ID, units uint64) bool {
 	if fu+units <= a.effFloor(i) {
 		return true
 	}
-	if a.st.m.Fast.FreeFrames() >= a.contendThresh || a.sumW == 0 {
+	if a.m.Fast.FreeFrames() >= a.contendThresh || a.sumW == 0 {
 		return true
 	}
 	// Contended: cap tenant i at its weighted share of all promotions
@@ -161,12 +173,11 @@ func (a *arbiter) veto(pg *vm.Page, dst tier.ID, units uint64) bool {
 // one violation per dip below the warmed level that the tenant's own
 // frees since that checkpoint cannot explain.
 func (a *arbiter) checkFloor(i int) {
-	p := a.st.procs[i]
 	eff := a.effFloor(i)
-	if !p.live || eff == 0 {
+	if !a.live[i] || eff == 0 {
 		return
 	}
-	as := a.st.m.Space(i)
+	as := a.m.Space(i)
 	fu := as.FastUnits()
 	if fu >= eff {
 		a.warmed[i] = true
@@ -196,8 +207,8 @@ func (a *arbiter) checkFloors() {
 func (a *arbiter) finalize() {
 	for i := range a.cells {
 		a.checkFloor(i)
-		as := a.st.m.Space(i)
-		*a.cells[i].accesses = a.st.m.SpaceAccesses(i)
+		as := a.m.Space(i)
+		*a.cells[i].accesses = a.m.SpaceAccesses(i)
 		*a.cells[i].fastPages = as.FastUnits()
 		*a.cells[i].residentPages = as.ResidentUnits()
 	}

@@ -7,12 +7,24 @@
 // QoS arbiter below the policy layer enforces per-tenant fast-tier
 // floors and weighted promotion shares (DESIGN.md §10).
 //
-// Determinism is by construction, not by locking: exactly one
-// goroutine — the scheduler or the currently scheduled tenant — is
-// runnable at any instant, with the baton handed over channels, so the
-// interleaving is a pure function of the machine seed and the config.
-// The same seed produces byte-identical event traces sequential or
-// under a parallel matrix, including under the race detector.
+// The scheduler is an inline run loop: tenants whose workloads
+// implement workload.Streamer are resumable steppers — the scheduler
+// holds their suspended drive state (workload.Stream) and pulls
+// batches of accesses from it for exactly one slice at a time, with no
+// goroutine, channel operation or allocation on the per-slice path.
+// Workloads without a stepper form (mid-stream allocation churn,
+// phased initialisation) keep the historical goroutine-baton fallback:
+// their Run executes on a dedicated goroutine that an AccessObserver
+// parks at slice boundaries, installed only while such a tenant runs.
+//
+// Determinism is by construction either way: exactly one goroutine —
+// the scheduler or the currently scheduled fallback tenant — is
+// runnable at any instant, so the interleaving is a pure function of
+// the machine seed and the config. The same seed produces
+// byte-identical event traces sequential or under a parallel matrix,
+// including under the race detector; the inline scheduler reproduces
+// the baton scheduler's traces bit for bit (the tenant_equiv.json
+// golden in internal/bench pins this).
 package tenant
 
 import (
@@ -24,6 +36,7 @@ import (
 	"memtis/internal/sim"
 	"memtis/internal/tier"
 	"memtis/internal/vm"
+	"memtis/internal/workload"
 )
 
 // Spec describes one tenant: identity, workload, QoS knobs and its
@@ -107,7 +120,11 @@ const (
 	// (simulated) TLB and the host caches on every switch; 8k keeps
 	// the 64-tenant per-access cost within ~1.1x of single-tenant.
 	DefaultSlice = 8192
-	maxWeight    = 1_000_000
+	// MinSlice is the floor AutoSlice scales down to for very large
+	// mixes: below ~256 accesses the per-switch TLB cold-start
+	// dominates the slice itself.
+	MinSlice  = 256
+	maxWeight = 1_000_000
 	// shareSlackUnits is the arbiter's burst allowance above a
 	// tenant's exact proportional share of contended promotions: a
 	// few huge pages' worth, so coarse-grained (2MB) promotions don't
@@ -194,9 +211,28 @@ func New(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	if cfg.Slice == 0 {
-		cfg.Slice = DefaultSlice
+		cfg.Slice = AutoSlice(len(cfg.Tenants))
 	}
 	return &Runner{cfg: cfg}, nil
+}
+
+// AutoSlice returns the default scheduler quantum for n tenants:
+// DefaultSlice up to 64 tenants (the historical fixed default), then
+// scaled down so one full fairness rotation over every tenant fits the
+// same window 64 tenants get (n*slice <= 64*DefaultSlice), floored at
+// MinSlice. At 1024 tenants this tightens the quantum to 512 accesses,
+// so every tenant is still scheduled within a bounded fraction of a
+// typical budget instead of the rotation stretching 16x.
+func AutoSlice(n int) uint64 {
+	const window = 64 * DefaultSlice
+	s := uint64(DefaultSlice)
+	if n > 0 && uint64(n)*s > window {
+		s = window / uint64(n)
+		if s < MinSlice {
+			s = MinSlice
+		}
+	}
+	return s
 }
 
 // Name implements sim.Workload.
@@ -226,16 +262,22 @@ func (r *Runner) Run(m *sim.Machine, accesses uint64) {
 	}
 }
 
-// killedPanic unwinds a tenant goroutine the scheduler terminates
-// (budget exhausted or exit churn); procMain recovers exactly this
-// type and re-raises anything else.
+// killedPanic unwinds a fallback tenant goroutine the scheduler
+// terminates (budget exhausted or exit churn); procMain recovers
+// exactly this type and re-raises anything else.
 type killedPanic struct{}
 
-// proc is one tenant's execution state. The resume channel is the
-// scheduling baton: the goroutine blocks on it between slices.
+// proc is one tenant's execution state. Streaming tenants (streamer
+// non-nil) are driven inline: their suspended drive state is the
+// stream field and the channels stay nil. Fallback tenants run their
+// workload on a dedicated goroutine with the resume channel as the
+// scheduling baton, exactly the historical design.
 type proc struct {
 	id       int
 	spec     *Spec
+	streamer workload.Streamer // nil: goroutine-baton fallback
+	stream   workload.Stream   // suspended drive state once begun
+	begun    bool
 	resume   chan struct{}
 	done     chan struct{}
 	started  bool
@@ -250,6 +292,12 @@ type churnEvent struct {
 	kind   ChurnKind
 }
 
+// tenantBatch is the inline scheduler's issue granularity, matching
+// the workload package's batched drive: large enough to amortise the
+// budget checks and stepper indirection, small enough that the Op
+// buffer stays L1-resident.
+const tenantBatch = 256
+
 // run is the per-Run mutable state: scheduler, churn plan and arbiter.
 type run struct {
 	m      *sim.Machine
@@ -263,6 +311,14 @@ type run struct {
 	active   *proc
 	sliceEnd uint64
 
+	// pk is the weighted pick state (see wpick): tenants are credited
+	// when runnable, cleared when finished or exited.
+	pk *wpick
+
+	// buf is the inline scheduler's access batch (no allocation on the
+	// slice path).
+	buf [tenantBatch]sim.Op
+
 	events []churnEvent
 	nextEv int
 	grown  []vm.Region
@@ -271,6 +327,14 @@ type run struct {
 
 	rng uint64
 }
+
+// setRunnable credits tenant i's weight to the pick tree (no-op when
+// already runnable).
+func (st *run) setRunnable(i int) { st.pk.set(i, st.arb.weight(i)) }
+
+// clearRunnable removes tenant i's weight from the pick tree (no-op
+// when not runnable).
+func (st *run) clearRunnable(i int) { st.pk.clear(i) }
 
 func newRun(r *Runner, m *sim.Machine, accesses uint64) *run {
 	n := len(r.cfg.Tenants)
@@ -282,17 +346,20 @@ func newRun(r *Runner, m *sim.Machine, accesses uint64) *run {
 		procs:  make([]*proc, n),
 		names:  make([]string, n),
 		yield:  make(chan *proc),
+		pk:     newWpick(n),
 		grown:  make([]vm.Region, n),
 		rng:    uint64(m.Cfg.Seed) ^ 0x74_65_6e_61_6e_74, // "tenant"
 	}
+	specs := make([]*Spec, n)
 	for i := range r.cfg.Tenants {
 		st.names[i] = tenantName(&r.cfg.Tenants[i], i)
+		specs[i] = &r.cfg.Tenants[i]
 	}
-	st.arb = newArbiter(st)
-	// Install the hooks on the root space first: AddSpace copies them
-	// onto every additional space.
+	st.arb = newArbiter(m, specs, st.names)
+	// Install the veto hook on the root space first: AddSpace copies it
+	// onto every additional space. The access observer is installed
+	// only while a fallback tenant's goroutine runs.
 	m.AS.MigrateVeto = st.arb.veto
-	m.AccessObserver = st.observe
 	// Tenant i owns space i; tenant 0 keeps the root space, so a
 	// one-tenant run stays on the single-space fast path.
 	for i := 1; i < n; i++ {
@@ -305,16 +372,18 @@ func newRun(r *Runner, m *sim.Machine, accesses uint64) *run {
 	}
 	for i := range r.cfg.Tenants {
 		t := &r.cfg.Tenants[i]
-		p := &proc{
-			id:     i,
-			spec:   t,
-			resume: make(chan struct{}),
-			done:   make(chan struct{}),
+		p := &proc{id: i, spec: t}
+		if s, ok := t.Workload.(workload.Streamer); ok {
+			p.streamer = s
+		} else {
+			p.resume = make(chan struct{})
+			p.done = make(chan struct{})
 		}
 		st.procs[i] = p
 		if t.SpawnFrac <= 0 {
 			p.live = true
 			st.arb.addLive(i)
+			st.setRunnable(i)
 			m.Tracer().Emit(obs.EvTenantSpawn, uint64(i), false, 0, 0)
 		} else {
 			st.events = append(st.events, churnEvent{st.frac(t.SpawnFrac), i, ChurnSpawn})
@@ -329,8 +398,15 @@ func newRun(r *Runner, m *sim.Machine, accesses uint64) *run {
 			st.events = append(st.events, churnEvent{st.frac(t.ExitFrac), i, ChurnExit})
 		}
 	}
-	sort.SliceStable(st.events, func(a, b int) bool {
-		ea, eb := st.events[a], st.events[b]
+	sortChurn(st.events)
+	return st
+}
+
+// sortChurn orders a churn plan by (threshold, kind, tenant) — the
+// intra-threshold application order both schedulers share.
+func sortChurn(events []churnEvent) {
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
 		if ea.at != eb.at {
 			return ea.at < eb.at
 		}
@@ -339,7 +415,6 @@ func newRun(r *Runner, m *sim.Machine, accesses uint64) *run {
 		}
 		return ea.tenant < eb.tenant
 	})
-	return st
 }
 
 func (st *run) frac(f float64) uint64 { return uint64(f * float64(st.target)) }
@@ -371,6 +446,7 @@ func (st *run) apply(ev churnEvent) {
 	case ChurnSpawn:
 		p.live = true
 		st.arb.addLive(ev.tenant)
+		st.setRunnable(ev.tenant)
 		st.m.Tracer().Emit(obs.EvTenantSpawn, uint64(ev.tenant), false, 0, 0)
 	case ChurnExit:
 		st.exit(p)
@@ -426,33 +502,20 @@ func (st *run) shrink(p *proc) {
 }
 
 // pick draws the next tenant to run, weighted by share weight among
-// live, unfinished tenants; nil when none are runnable.
+// live, unfinished tenants; nil when none are runnable. The draw is a
+// Fenwick prefix-sum search — the selected tenant is exactly the one
+// the historical linear cumulative-weight scan would return for the
+// same draw, so the scheduling sequence is unchanged.
 func (st *run) pick() *proc {
-	var total uint64
-	for i, p := range st.procs {
-		if p.live && !p.finished {
-			total += st.arb.weight(i)
-		}
-	}
-	if total == 0 {
+	if st.pk.sum == 0 {
 		return nil
 	}
-	x := st.rand() % total
-	for i, p := range st.procs {
-		if p.live && !p.finished {
-			w := st.arb.weight(i)
-			if x < w {
-				return p
-			}
-			x -= w
-		}
-	}
-	return nil
+	return st.procs[st.pk.pick(st.rand()%st.pk.sum)]
 }
 
-// schedule hands the baton to p for one slice, bounded by the next
-// churn threshold and the global budget, and takes it back when p
-// parks (observe) or its workload returns.
+// schedule runs p for one slice, bounded by the next churn threshold
+// and the global budget: inline batch issue for streaming tenants,
+// baton handoff for fallback tenants.
 func (st *run) schedule(p *proc) {
 	now := st.m.TotalAccesses()
 	end := now + st.slice
@@ -462,10 +525,69 @@ func (st *run) schedule(p *proc) {
 	if st.target < end {
 		end = st.target
 	}
-	st.sliceEnd = end
 	st.m.UseSpace(p.id)
 	st.m.Tracer().Emit(obs.EvTenantSwitch, uint64(p.id), false, 0, end-now)
+	if p.streamer != nil {
+		st.runSlice(p, end)
+	} else {
+		st.runBaton(p, end)
+	}
+	st.arb.checkFloor(p.id)
+}
+
+// runSlice drives a streaming tenant inline until the machine reaches
+// the slice end or the tenant's own budget is spent. The batch bound
+// is exact — each Access advances both counters by exactly one and
+// nothing else does mid-batch — so the accesses issued are precisely
+// those the observer-parked goroutine would have issued: the baton
+// parks after the access that reaches the boundary, the batch simply
+// stops issuing there.
+func (st *run) runSlice(p *proc, end uint64) {
+	if !p.begun {
+		p.begun = true
+		m := st.m
+		p.stream = p.streamer.Stream(workload.Env{Reserve: m.Reserve, Seed: m.Cfg.Seed})
+	}
+	step, fill := p.stream.Step, p.stream.Fill
+	for {
+		total := st.m.TotalAccesses()
+		if total >= end {
+			return
+		}
+		done := st.m.Accesses()
+		if done >= st.target {
+			// The tenant's own (per-space) budget is spent: its Run
+			// loop would have returned here.
+			p.finished = true
+			st.clearRunnable(p.id)
+			return
+		}
+		n := end - total
+		if r := st.target - done; r < n {
+			n = r
+		}
+		if n > tenantBatch {
+			n = tenantBatch
+		}
+		if fill != nil {
+			fill(st.buf[:n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				st.buf[i].VPN, st.buf[i].Write = step()
+			}
+		}
+		st.m.AccessBatch(st.buf[:n])
+	}
+}
+
+// runBaton hands the baton to a fallback tenant's goroutine for one
+// slice and takes it back when the tenant parks (observe) or its
+// workload returns. The observer is installed only for the duration:
+// inline slices never pay the per-access callback.
+func (st *run) runBaton(p *proc, end uint64) {
+	st.sliceEnd = end
 	st.active = p
+	st.m.AccessObserver = st.observe
 	if !p.started {
 		p.started = true
 		go st.procMain(p)
@@ -475,15 +597,17 @@ func (st *run) schedule(p *proc) {
 	case <-st.yield:
 	case <-p.done:
 		p.finished = true
+		st.clearRunnable(p.id)
 	}
+	st.m.AccessObserver = nil
 	st.active = nil
-	st.arb.checkFloor(p.id)
 }
 
-// observe is the machine's AccessObserver: it preempts the active
-// tenant once its slice is used up. It runs on the tenant's goroutine;
-// the yield send blocks until the scheduler takes the baton back, and
-// the resume receive blocks until the tenant is scheduled again.
+// observe is the machine's AccessObserver while a fallback tenant
+// runs: it preempts the tenant once its slice is used up. It runs on
+// the tenant's goroutine; the yield send blocks until the scheduler
+// takes the baton back, and the resume receive blocks until the
+// tenant is scheduled again.
 func (st *run) observe(vpn uint64, write bool, now uint64) {
 	p := st.active
 	if p == nil || st.m.TotalAccesses() < st.sliceEnd {
@@ -496,9 +620,9 @@ func (st *run) observe(vpn uint64, write bool, now uint64) {
 	}
 }
 
-// procMain is one tenant's goroutine: wait for the first slice, run
-// the workload against the (already switched) machine, and swallow
-// only the scheduler's kill panic.
+// procMain is a fallback tenant's goroutine: wait for the first
+// slice, run the workload against the (already switched) machine, and
+// swallow only the scheduler's kill panic.
 func (st *run) procMain(p *proc) {
 	defer close(p.done)
 	defer func() {
@@ -515,8 +639,9 @@ func (st *run) procMain(p *proc) {
 	p.spec.Workload.Run(st.m, st.target)
 }
 
-// kill terminates p's goroutine if it is running (parked — the
-// scheduler holds the baton whenever kill runs).
+// kill finishes p, terminating its goroutine if one is running
+// (parked — the scheduler holds the baton whenever kill runs);
+// streaming tenants have no goroutine and are simply marked done.
 func (st *run) kill(p *proc) {
 	if p.started && !p.finished {
 		p.killed = true
@@ -524,6 +649,7 @@ func (st *run) kill(p *proc) {
 		<-p.done
 	}
 	p.finished = true
+	st.clearRunnable(p.id)
 }
 
 func (st *run) killAll() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"memtis/internal/bench"
+	"memtis/internal/obs"
 	"memtis/internal/sim"
 	"memtis/internal/tenant"
 	"memtis/internal/tier"
@@ -234,5 +235,79 @@ func TestFloorCountersPublished(t *testing.T) {
 	}
 	if err := m.Audit(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAutoSlice pins the quantum schedule: the fixed default through
+// 64 tenants, then scaled so one full rotation fits the 64-tenant
+// fairness window, floored at MinSlice for the largest mixes.
+func TestAutoSlice(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{1, tenant.DefaultSlice},
+		{64, tenant.DefaultSlice},
+		{128, 4096},
+		{256, 2048},
+		{1024, 512},
+		{4096, tenant.MinSlice},
+	}
+	for _, c := range cases {
+		if got := tenant.AutoSlice(c.n); got != c.want {
+			t.Errorf("AutoSlice(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// switchSink collects tenant-switch events straight off the tracer.
+type switchSink struct{ aux []uint64 }
+
+func (s *switchSink) Emit(e obs.Event) {
+	if e.Kind == obs.EvTenantSwitch {
+		s.aux = append(s.aux, e.Aux)
+	}
+}
+
+// TestAutoSliceTightensLargeMixes is the behavioural side of the
+// schedule: at 1024 tenants every scheduled slice observed on the
+// trace is at most the tightened 512-access quantum, and the rotation
+// produces far more, shorter slices than the fixed default would —
+// the fairness window the quantum scaling exists to protect.
+func TestAutoSliceTightensLargeMixes(t *testing.T) {
+	const n = 1024
+	specs := make([]tenant.Spec, n)
+	for i := range specs {
+		specs[i] = tenant.Spec{
+			Name:     fmt.Sprintf("t%04d", i),
+			Workload: &synth{name: fmt.Sprintf("t%04d", i), bytes: 16 * tier.BasePageSize},
+		}
+	}
+	r, err := tenant.New(tenant.Config{Tenants: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &switchSink{}
+	m := sim.NewMachine(sim.Config{
+		FastBytes: 16 << 20,
+		CapBytes:  256 << 20,
+		CapKind:   tier.NVM,
+		Seed:      7,
+		Trace:     obs.NewTracer(sink),
+	}, bench.NewPolicy("memtis"))
+	const budget = 200_000
+	r.Run(m, budget)
+	want := tenant.AutoSlice(n)
+	if len(sink.aux) == 0 {
+		t.Fatal("no tenant_switch events traced")
+	}
+	for _, aux := range sink.aux {
+		if aux > want {
+			t.Fatalf("scheduled a %d-access slice; AutoSlice(%d) bounds the quantum at %d", aux, n, want)
+		}
+	}
+	if min := budget / tenant.DefaultSlice; len(sink.aux) <= min {
+		t.Errorf("only %d switches over a %d budget — no finer than the fixed %d-access default (%d switches)",
+			len(sink.aux), budget, tenant.DefaultSlice, min)
 	}
 }

@@ -6,8 +6,7 @@
 package tlb
 
 import (
-	"math/bits"
-
+	"memtis/internal/fastmod"
 	"memtis/internal/obs"
 )
 
@@ -22,13 +21,21 @@ const (
 
 const ways = 8 // associativity of each sub-TLB
 
-// set is one associativity set: tags plus LRU stamps. Tag 0 is reserved
-// as "invalid" (virtual page numbers are stored +1). Stamps are 64-bit:
-// a 32-bit stamp wraps after 2^32 lookups — a few minutes of a sweep
-// run — and silently turns the freshest entries into eviction victims.
+// entry is one TLB entry: its tag and its LRU stamp, adjacent so the
+// hit path's stamp update lands in the cache line the tag compare just
+// pulled (split tag/stamp arrays cost a second line on every probe,
+// measurable when many tenants spread lookups across all sets). Tag 0
+// is reserved as "invalid" (virtual page numbers are stored +1).
+// Stamps are 64-bit: a 32-bit stamp wraps after 2^32 lookups — a few
+// minutes of a sweep run — and silently turns the freshest entries
+// into eviction victims.
+type entry struct {
+	tag, used uint64
+}
+
+// set is one associativity set.
 type set struct {
-	tags [ways]uint64
-	used [ways]uint64
+	e [ways]entry
 }
 
 // subTLB is an 8-way set-associative TLB with true-LRU replacement
@@ -39,8 +46,8 @@ type subTLB struct {
 	sets    []set
 	mask    uint64 // nSets-1 when nSets is a power of two, else 0
 	nSets   uint64
-	magic   uint64 // Lemire fastmod multiplier for non-power-of-two nSets
-	walkNS  uint64 // page-walk cost charged on a miss
+	fm      fastmod.M // exact reciprocal remainder for non-power-of-two nSets
+	walkNS  uint64    // page-walk cost charged on a miss
 	lookups uint64
 	misses  uint64
 }
@@ -60,12 +67,12 @@ func newSubTLB(entries int, walkNS uint64) subTLB {
 	if nSets&(nSets-1) == 0 {
 		t.mask = uint64(nSets - 1)
 	} else {
-		// floor(2^64/d)+1: with 32-bit operands, mulhi(magic*x, d) is
-		// exactly x%d (Lemire, "Faster remainders when the divisor is a
-		// constant"). VPNs are dense bump-allocator indexes, so the
-		// 32-bit precondition holds for any simulable footprint; index()
-		// still guards it.
-		t.magic = ^uint64(0)/uint64(nSets) + 1
+		// Exact 128-bit reciprocal remainder (internal/fastmod). The
+		// historical 32-bit Lemire multiplier was only valid for
+		// vpn < 2^32, which multi-tenant machines break: space-tagged
+		// VPNs carry the tenant tag in the high bits, so every tagged
+		// lookup fell through to a hardware divide on the hot path.
+		t.fm = fastmod.New(uint64(nSets))
 	}
 	return t
 }
@@ -77,37 +84,38 @@ func (t *subTLB) index(vpn uint64) uint64 {
 	if t.mask != 0 {
 		return vpn & t.mask
 	}
-	if vpn < 1<<32 {
-		hi, _ := bits.Mul64(t.magic*vpn, t.nSets)
-		return hi
-	}
-	return vpn % t.nSets
+	return t.fm.Mod(vpn)
 }
 
 // lookup probes for vpn, inserting it on a miss, and returns the
-// page-walk cost charged (0 on a hit). The hit path scans tags only;
-// LRU victim selection is deferred to the miss path so the common case
-// does half the comparisons.
+// page-walk cost charged (0 on a hit). The hit path scans tags only
+// and is small enough to inline into the simulator's access loop; LRU
+// victim selection lives in the outlined miss path, so the common case
+// does half the comparisons and pays no call.
 func (t *subTLB) lookup(vpn uint64) uint64 {
 	t.lookups++
 	stamp := t.lookups
 	s := &t.sets[t.index(vpn)]
 	tag := vpn + 1
 	for i := 0; i < ways; i++ {
-		if s.tags[i] == tag {
-			s.used[i] = stamp
+		if s.e[i].tag == tag {
+			s.e[i].used = stamp
 			return 0
 		}
 	}
+	return t.miss(s, tag, stamp)
+}
+
+// miss replaces the set's LRU entry with tag and charges the walk.
+func (t *subTLB) miss(s *set, tag, stamp uint64) uint64 {
 	t.misses++
 	victim := 0
 	for i := 1; i < ways; i++ {
-		if s.used[i] < s.used[victim] {
+		if s.e[i].used < s.e[victim].used {
 			victim = i
 		}
 	}
-	s.tags[victim] = tag
-	s.used[victim] = stamp
+	s.e[victim] = entry{tag: tag, used: stamp}
 	return t.walkNS
 }
 
@@ -116,9 +124,8 @@ func (t *subTLB) invalidate(vpn uint64) {
 	s := &t.sets[t.index(vpn)]
 	tag := vpn + 1
 	for i := 0; i < ways; i++ {
-		if s.tags[i] == tag {
-			s.tags[i] = 0
-			s.used[i] = 0
+		if s.e[i].tag == tag {
+			s.e[i] = entry{}
 			return
 		}
 	}

@@ -151,6 +151,57 @@ func Drive(m *sim.Machine, target uint64, step func() (vpn uint64, write bool)) 
 	issueBatched(m, target, step)
 }
 
+// Env is the execution environment a streaming workload initialises
+// against when an external scheduler — rather than the workload's own
+// Run loop — will pull its accesses: a reservation primitive for the
+// tenant's address space and the machine seed. It deliberately carries
+// no machine handle, so the same Stream can be driven against a plain
+// machine or replayed through a sharded dispatch pipeline whose
+// reservations are predicted driver-side.
+type Env struct {
+	// Reserve carves a region out of the workload's address space,
+	// exactly like sim.Machine.Reserve would during Run.
+	Reserve func(bytes uint64) vm.Region
+	// Seed is the machine seed the workload derives its deterministic
+	// access stream from (sim.Config.Seed).
+	Seed int64
+}
+
+// Stream is the explicit suspend/resume state of one streaming drive:
+// where the goroutine-baton scheduler parked a blocked goroutine
+// between slices, an inline scheduler holds this struct and pulls
+// accesses from Step whenever the workload is scheduled. All resume
+// state (regions, RNG counters, phase) lives behind the closure; the
+// stream is suspended simply by not calling Step.
+type Stream struct {
+	// Step emits the next access of the workload's deterministic
+	// stream. It must not mutate machine state (no reservations or
+	// frees), so a scheduler may pre-generate a batch of accesses
+	// before issuing them.
+	Step func() (vpn uint64, write bool)
+	// Fill, when non-nil, writes the stream's next len(dst) accesses
+	// into dst — exactly the ops len(dst) sequential Step calls would
+	// return, advancing the same state. It exists purely to amortise
+	// the per-access closure call across a batch on the scheduler hot
+	// path; schedulers may mix Fill and Step calls freely.
+	Fill func(dst []sim.Op)
+}
+
+// Streamer is a sim.Workload that can also run as a resumable stepper
+// under an inline scheduler. Stream must produce exactly the access
+// stream Run would issue (the budget and slice bounds are the
+// driver's job), so a scheduler may use either form interchangeably;
+// workloads with non-trivial machine interaction (mid-stream
+// allocation churn, phased initialisation issuing accesses) cannot
+// satisfy the contract and simply do not implement it — schedulers
+// fall back to driving their Run on a dedicated goroutine.
+type Streamer interface {
+	sim.Workload
+	// Stream performs the workload's setup (reservations only) against
+	// env and returns the suspended drive state.
+	Stream(env Env) Stream
+}
+
 // New builds the named benchmark model.
 func New(name string) (*W, error) {
 	spec, err := SpecByName(name)
